@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace is a fixed 12-job SWF fragment covering multi-core jobs,
+// memory variety, and overlapping lifetimes.
+const goldenTrace = `; golden scenario
+1 0 0 3600 2 -1 524288 2 3600 -1 1 1 1 1 1 1 -1 -1
+2 120 0 7200 1 -1 262144 1 7200 -1 1 1 1 1 1 1 -1 -1
+3 300 0 1800 4 -1 524288 4 1800 -1 1 1 1 1 1 1 -1 -1
+4 600 0 9000 1 -1 1048576 1 9000 -1 1 1 1 1 1 1 -1 -1
+5 900 0 2400 2 -1 262144 2 2400 -1 1 1 1 1 1 1 -1 -1
+6 1800 0 5400 1 -1 524288 1 5400 -1 1 1 1 1 1 1 -1 -1
+7 3600 0 3600 2 -1 524288 2 3600 -1 1 1 1 1 1 1 -1 -1
+8 5400 0 1200 1 -1 262144 1 1200 -1 1 1 1 1 1 1 -1 -1
+9 7200 0 7200 4 -1 524288 4 7200 -1 1 1 1 1 1 1 -1 -1
+10 9000 0 3600 1 -1 1048576 1 3600 -1 1 1 1 1 1 1 -1 -1
+11 10800 0 2400 2 -1 262144 2 2400 -1 1 1 1 1 1 1 -1 -1
+12 12600 0 4800 1 -1 524288 1 4800 -1 1 1 1 1 1 1 -1 -1
+`
+
+// TestGoldenCSV pins the exact hourly series the dynamic scheme produces
+// on a fixed scenario. The simulation is fully deterministic, so any drift
+// here is a behaviour change that must be reviewed (and blessed with
+// `go test ./cmd/dvmpsim -run Golden -update`).
+func TestGoldenCSV(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "golden.swf")
+	if err := os.WriteFile(trace, []byte(goldenTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "out.csv")
+	var sb strings.Builder
+	err := run([]string{"-trace", trace, "-scheme", "dynamic", "-nodes", "8", "-csv", csv}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_dynamic.csv")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("output drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

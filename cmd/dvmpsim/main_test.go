@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSyntheticSmallFleet(t *testing.T) {
+	var sb strings.Builder
+	// A 16-node fleet keeps the test fast while exercising the full path.
+	err := run([]string{"-scheme", "first-fit", "-nodes", "16", "-seed", "2", "-jobs", "300"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"300 jobs", "first-fit", "energy by class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "series.csv")
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "best-fit", "-nodes", "16", "-jobs", "300", "-csv", csv}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "hour,best-fit,best-fit") {
+		t.Errorf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunVerbosePrintsSeries(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "worst-fit", "-nodes", "16", "-jobs", "300", "-v"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hour") {
+		t.Error("verbose output missing series table")
+	}
+}
+
+func TestRunSWFTrace(t *testing.T) {
+	dir := t.TempDir()
+	swf := filepath.Join(dir, "t.swf")
+	content := "; test\n" +
+		"1 0 0 600 1 -1 524288 1 600 -1 1 1 1 1 1 1 -1 -1\n" +
+		"2 60 0 900 2 -1 524288 2 900 -1 1 1 1 1 1 1 -1 -1\n"
+	if err := os.WriteFile(swf, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-trace", swf, "-scheme", "dynamic", "-nodes", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 jobs -> 3 single-core VM requests") {
+		t.Errorf("trace parsing output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "nope"}, &sb); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent/file.swf"}, &sb); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunTimedWarmAndEventLog(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	var sb strings.Builder
+	err := run([]string{
+		"-scheme", "dynamic", "-nodes", "16", "-jobs", "200",
+		"-timed", "-warm", "4", "-eventlog", logPath,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"arrive", "place", "depart"} {
+		if !strings.Contains(string(data), marker) {
+			t.Errorf("event log missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunDefaultStats(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"jobs: 4574", "peak day", "memory per request", "runtime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesSWF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.swf")
+	var sb strings.Builder
+	if err := run([]string{"-o", path, "-stats=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := workload.ParseSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4574 {
+		t.Errorf("round-tripped jobs = %d", len(jobs))
+	}
+}
+
+func TestRunCustomDaysAndJobs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "small.swf")
+	var sb strings.Builder
+	if err := run([]string{"-days", "3", "-jobs", "300", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := workload.ParseSWF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 300 {
+		t.Errorf("jobs = %d, want exactly 300", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Submit >= 3*86400 {
+			t.Fatalf("job submitted beyond day 3: %g", j.Submit)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-days", "0"}, &sb); err == nil {
+		t.Error("zero days accepted")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir/x.swf", "-stats=false"}, &sb); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: simulate the paper's dynamic VM placement scheme on a small
+// data center and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A data center: 4 fast + 8 slow nodes (Table II classes).
+	fast, slow := cluster.FastClass, cluster.SlowClass
+	dc := cluster.MustNew(cluster.Config{
+		RMin: cluster.TableIIRMin.Clone(),
+		Groups: []cluster.Group{
+			{Class: &fast, Count: 4},
+			{Class: &slow, Count: 8},
+		},
+	})
+
+	// 2. A workload: two days of synthetic jobs, filtered and split into
+	// single-core VM requests as in Section V.A of the paper.
+	gen := workload.DefaultWeekConfig(42)
+	gen.DailyJobs = []int{120, 160}
+	jobs := workload.Filter(workload.MustGenerate(gen), workload.DefaultFilter())
+	requests := workload.ToRequests(jobs)
+	fmt.Printf("workload: %d jobs -> %d single-core VM requests\n\n", len(jobs), len(requests))
+
+	// 3. Run the dynamic probability-matrix scheme.
+	result, err := sim.Run(sim.Config{
+		DC:       dc,
+		Placer:   policy.NewDynamic(),
+		Requests: requests,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the outcome.
+	if err := metrics.WriteSummaries(os.Stdout, []metrics.Summary{result.Summary}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst migrations executed by Algorithm 1:\n")
+	for i, mv := range result.Moves {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(result.Moves)-5)
+			break
+		}
+		fmt.Printf("  round %d: VM%d moved PM%d -> PM%d (normalized gain %.3f)\n",
+			mv.Round, mv.VM, mv.From, mv.To, mv.Gain)
+	}
+	fmt.Printf("\nhourly active servers: %v\n", result.ActivePMs.Values)
+}

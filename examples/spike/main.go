@@ -1,0 +1,90 @@
+// Workload-spike study: the spare-server controller of Section IV learns
+// the arrival pattern with the Leemis NHPP estimator and pre-boots
+// capacity before the daily peak, keeping queueing under the 5% QoS bound
+// where the bare scheme queues heavily.
+//
+//	go run ./examples/spike
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/spare"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// spikyTrace builds three days of strongly diurnal arrivals: a quiet night
+// and an intense midday burst, with day 3 the spike the controller must
+// anticipate from days 1-2.
+func spikyTrace(seed int64) []workload.Request {
+	r := stats.NewRand(seed)
+	var jobs []workload.Job
+	id := 0
+	for day := 0; day < 3; day++ {
+		n := 260
+		if day == 2 {
+			n = 420 // the spike
+		}
+		for i := 0; i < n; i++ {
+			// Concentrate 80% of arrivals in a 6-hour midday window.
+			var at float64
+			if r.Float64() < 0.8 {
+				at = 10*3600 + r.Float64()*6*3600
+			} else {
+				at = r.Float64() * 86400
+			}
+			id++
+			run := math.Round(stats.LogNormalFromMedian(r, 2400, 1.2))
+			jobs = append(jobs, workload.Job{
+				ID: id, Submit: float64(day)*86400 + at,
+				RunTime: run, EstimatedRunTime: run,
+				Cores: 1, MemoryGB: 0.5, Status: workload.StatusCompleted,
+			})
+		}
+	}
+	workload.SortBySubmit(jobs)
+	return workload.ToRequests(jobs)
+}
+
+func main() {
+	requests := spikyTrace(11)
+	fleet := func() *cluster.Datacenter { return cluster.TableIIFleetScaled(24) }
+	fmt.Printf("workload: %d requests over 3 days with a midday spike; fleet: 24 nodes\n\n", len(requests))
+
+	bare, err := sim.Run(sim.Config{DC: fleet(), Placer: policy.NewDynamic(), Requests: requests})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := spare.DefaultConfig()
+	spared, err := sim.Run(sim.Config{DC: fleet(), Placer: policy.NewDynamic(), Requests: requests, Spare: &sc})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "no spares", "with spares")
+	fmt.Printf("%-22s %11.2f%% %11.2f%%\n", "requests queued",
+		bare.Summary.QueuedFraction*100, spared.Summary.QueuedFraction*100)
+	fmt.Printf("%-22s %11.1fs %11.1fs\n", "mean wait",
+		bare.Summary.MeanWaitSeconds, spared.Summary.MeanWaitSeconds)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "energy (kWh)",
+		bare.Summary.TotalEnergyKWh, spared.Summary.TotalEnergyKWh)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "mean active PMs",
+		bare.Summary.MeanActivePMs, spared.Summary.MeanActivePMs)
+
+	fmt.Println("\nspare plans around the day-3 spike (hours 48-72):")
+	for _, p := range spared.SparePlans {
+		h := int(p.At / 3600)
+		if h >= 48 && h < 72 && h%2 == 0 {
+			fmt.Printf("  hour %2d: E[arrivals]=%6.1f -> n_arrival=%3d, n_departure=%3d, N_ave=%.1f, spares=%d\n",
+				h, p.ExpectedArrivals, p.NArrival, p.NDeparture, p.NAve, p.Spares)
+		}
+	}
+	fmt.Println("\nthe controller holds spares before/through the midday burst and releases")
+	fmt.Println("them at night — the paper's \"capable of dealing with workload spike\" claim.")
+}

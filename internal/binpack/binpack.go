@@ -1,0 +1,223 @@
+// Package binpack provides offline multi-dimensional packing over a
+// heterogeneous fleet: the static-consolidation formulation the paper's
+// Related Work discusses ("the VM management problem is often formulated
+// as N-dimensional bin packing"). The experiment harness uses it as an
+// oracle: given the exact set of VMs alive at some instant, how few PMs
+// could possibly host them? Comparing a scheme's actual active-server
+// count against this bound measures consolidation quality directly,
+// independent of energy models.
+package binpack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/vector"
+)
+
+// Item is one VM-sized demand to pack.
+type Item struct {
+	// ID labels the item in assignments (VM ID in practice).
+	ID int
+
+	// Demand is the K-dimensional resource requirement.
+	Demand vector.V
+}
+
+// Bin describes one available machine.
+type Bin struct {
+	// ID labels the bin (PM ID in practice).
+	ID int
+
+	// Capacity is the machine's K-dimensional capacity.
+	Capacity vector.V
+
+	// Weight orders bins for opening: lower-weight bins open first.
+	// The experiment harness uses per-slot active power so the packing
+	// prefers efficient machines, mirroring the boot preference of the
+	// simulator.
+	Weight float64
+}
+
+// Result is a completed packing.
+type Result struct {
+	// BinsUsed is the number of bins that received at least one item.
+	BinsUsed int
+
+	// Assignment maps item ID to bin ID.
+	Assignment map[int]int
+
+	// Unplaced lists items no bin could hold (individually infeasible
+	// or capacity exhausted).
+	Unplaced []Item
+}
+
+// FirstFitDecreasing packs items into bins with the classic FFD heuristic
+// generalized to vectors: items sorted by decreasing scalarized size, each
+// placed into the first open bin with room, opening bins in weight order
+// when needed. FFD is within 11/9 OPT + 1 for one dimension and a strong
+// practical heuristic for few dimensions; with K = 2 it serves as a tight
+// upper bound on the optimal PM count (so OPT <= FFD, and FFD itself is a
+// valid "a real packing exists" certificate).
+func FirstFitDecreasing(items []Item, bins []Bin) Result {
+	ordered := append([]Item(nil), items...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return scalarSize(ordered[i].Demand, bins) > scalarSize(ordered[j].Demand, bins)
+	})
+	order := append([]Bin(nil), bins...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Weight != order[j].Weight {
+			return order[i].Weight < order[j].Weight
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	used := make([]vector.V, len(order))
+	open := 0
+	res := Result{Assignment: make(map[int]int, len(items))}
+
+	for _, item := range ordered {
+		placed := false
+		for b := 0; b < open && !placed; b++ {
+			if item.Demand.Fits(used[b], order[b].Capacity) {
+				used[b].AddInPlace(item.Demand)
+				res.Assignment[item.ID] = order[b].ID
+				placed = true
+			}
+		}
+		for !placed && open < len(order) {
+			b := open
+			used[b] = vector.Zero(order[b].Capacity.Dim())
+			open++
+			if item.Demand.Fits(used[b], order[b].Capacity) {
+				used[b].AddInPlace(item.Demand)
+				res.Assignment[item.ID] = order[b].ID
+				placed = true
+			}
+		}
+		if !placed {
+			res.Unplaced = append(res.Unplaced, item)
+		}
+	}
+	for b := 0; b < open; b++ {
+		if !used[b].IsZero() {
+			res.BinsUsed++
+		}
+	}
+	return res
+}
+
+// scalarSize scalarizes a demand as its largest fraction of the biggest
+// bin's capacity — the standard multi-dim FFD ordering key.
+func scalarSize(d vector.V, bins []Bin) float64 {
+	if len(bins) == 0 {
+		return d.Sum()
+	}
+	maxCap := bins[0].Capacity.Clone()
+	for _, b := range bins[1:] {
+		for k := range maxCap {
+			if b.Capacity[k] > maxCap[k] {
+				maxCap[k] = b.Capacity[k]
+			}
+		}
+	}
+	m := 0.0
+	for k := range d {
+		if maxCap[k] <= vector.Epsilon {
+			continue
+		}
+		if f := d[k] / maxCap[k]; f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// LowerBound returns a lower bound on the bins needed for items: for each
+// resource dimension, greedily cover the total demand with the largest
+// bins first and take the worst dimension. No packing can use fewer bins
+// (capacity alone forbids it), so LowerBound <= OPT <= FFD.
+func LowerBound(items []Item, bins []Bin) int {
+	if len(items) == 0 {
+		return 0
+	}
+	dim := items[0].Demand.Dim()
+	total := vector.Zero(dim)
+	for _, it := range items {
+		total.AddInPlace(it.Demand)
+	}
+	bound := 0
+	for k := 0; k < dim; k++ {
+		caps := make([]float64, 0, len(bins))
+		for _, b := range bins {
+			caps = append(caps, b.Capacity[k])
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(caps)))
+		need, covered := 0, 0.0
+		for _, c := range caps {
+			if covered >= total[k]-vector.Epsilon {
+				break
+			}
+			covered += c
+			need++
+		}
+		if covered < total[k]-vector.Epsilon {
+			need = len(bins) + 1 // infeasible even with every bin
+		}
+		if need > bound {
+			bound = need
+		}
+	}
+	return bound
+}
+
+// FleetBins converts a datacenter's PMs into bins weighted by per-slot
+// active power (most efficient first), matching the simulator's boot
+// preference.
+func FleetBins(dc *cluster.Datacenter) []Bin {
+	rmin := dc.RMinShared()
+	bins := make([]Bin, 0, dc.Size())
+	for _, pm := range dc.PMs() {
+		w := math.Inf(1)
+		if slots := pm.Class.MaxMinimalVMs(rmin); slots > 0 {
+			w = pm.Class.ActivePower / float64(slots)
+		}
+		bins = append(bins, Bin{ID: int(pm.ID), Capacity: pm.Class.Capacity.Clone(), Weight: w})
+	}
+	return bins
+}
+
+// Validate checks that a result's assignment respects bin capacities —
+// used by tests and by the oracle experiment's self-check.
+func Validate(items []Item, bins []Bin, res Result) error {
+	capOf := make(map[int]vector.V, len(bins))
+	for _, b := range bins {
+		capOf[b.ID] = b.Capacity
+	}
+	load := make(map[int]vector.V)
+	for _, it := range items {
+		binID, ok := res.Assignment[it.ID]
+		if !ok {
+			continue
+		}
+		cap, exists := capOf[binID]
+		if !exists {
+			return fmt.Errorf("binpack: item %d assigned to unknown bin %d", it.ID, binID)
+		}
+		if load[binID] == nil {
+			load[binID] = vector.Zero(cap.Dim())
+		}
+		load[binID].AddInPlace(it.Demand)
+	}
+	for id, l := range load {
+		if !l.LE(capOf[id]) {
+			return fmt.Errorf("binpack: bin %d overfilled: %v > %v", id, l, capOf[id])
+		}
+	}
+	if placed := len(res.Assignment); placed+len(res.Unplaced) != len(items) {
+		return fmt.Errorf("binpack: %d placed + %d unplaced != %d items", placed, len(res.Unplaced), len(items))
+	}
+	return nil
+}

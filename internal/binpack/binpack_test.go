@@ -1,0 +1,200 @@
+package binpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+func uniformBins(n int, cap ...float64) []Bin {
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i] = Bin{ID: i, Capacity: vector.New(cap...), Weight: 1}
+	}
+	return bins
+}
+
+func TestFFDSimplePacking(t *testing.T) {
+	// 8 unit items into bins of 4: exactly 2 bins.
+	items := make([]Item, 8)
+	for i := range items {
+		items[i] = Item{ID: i, Demand: vector.New(1, 1)}
+	}
+	res := FirstFitDecreasing(items, uniformBins(5, 4, 4))
+	if res.BinsUsed != 2 {
+		t.Errorf("bins = %d, want 2", res.BinsUsed)
+	}
+	if len(res.Unplaced) != 0 {
+		t.Errorf("unplaced = %v", res.Unplaced)
+	}
+	if err := Validate(items, uniformBins(5, 4, 4), res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFDDecreasingBeatsNaiveOrder(t *testing.T) {
+	// Classic FFD win: items 6,5,4,3,2,2 into bins of 11.
+	sizes := []float64{2, 6, 3, 5, 2, 4}
+	items := make([]Item, len(sizes))
+	for i, s := range sizes {
+		items[i] = Item{ID: i, Demand: vector.New(s)}
+	}
+	bins := uniformBins(6, 11)
+	res := FirstFitDecreasing(items, bins)
+	if res.BinsUsed != 2 { // 6+5, 4+3+2+2
+		t.Errorf("bins = %d, want 2", res.BinsUsed)
+	}
+}
+
+func TestFFDMultiDimensional(t *testing.T) {
+	// CPU-heavy and memory-heavy items must interleave.
+	items := []Item{
+		{ID: 1, Demand: vector.New(6, 1)},
+		{ID: 2, Demand: vector.New(1, 6)},
+		{ID: 3, Demand: vector.New(6, 1)},
+		{ID: 4, Demand: vector.New(1, 6)},
+	}
+	bins := uniformBins(4, 8, 8)
+	res := FirstFitDecreasing(items, bins)
+	if res.BinsUsed != 2 {
+		t.Errorf("bins = %d, want 2 (one cpu-heavy + one mem-heavy each)", res.BinsUsed)
+	}
+	if err := Validate(items, bins, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFDHeterogeneousPrefersLowWeight(t *testing.T) {
+	bins := []Bin{
+		{ID: 0, Capacity: vector.New(4, 4), Weight: 10},
+		{ID: 1, Capacity: vector.New(8, 8), Weight: 1},
+	}
+	items := []Item{{ID: 1, Demand: vector.New(2, 2)}}
+	res := FirstFitDecreasing(items, bins)
+	if res.Assignment[1] != 1 {
+		t.Errorf("item packed into bin %d, want the low-weight bin 1", res.Assignment[1])
+	}
+}
+
+func TestFFDUnplaceable(t *testing.T) {
+	items := []Item{{ID: 1, Demand: vector.New(100, 1)}}
+	res := FirstFitDecreasing(items, uniformBins(3, 8, 8))
+	if len(res.Unplaced) != 1 || res.BinsUsed != 0 {
+		t.Errorf("unplaced = %v, bins = %d", res.Unplaced, res.BinsUsed)
+	}
+}
+
+func TestFFDEmpty(t *testing.T) {
+	res := FirstFitDecreasing(nil, uniformBins(2, 4, 4))
+	if res.BinsUsed != 0 || len(res.Unplaced) != 0 {
+		t.Errorf("empty pack = %+v", res)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	// Total demand (10, 2) into (4,4) bins: CPU needs ceil coverage of 3
+	// bins, memory 1 -> bound 3.
+	items := []Item{
+		{ID: 1, Demand: vector.New(4, 1)},
+		{ID: 2, Demand: vector.New(4, 0.5)},
+		{ID: 3, Demand: vector.New(2, 0.5)},
+	}
+	if got := LowerBound(items, uniformBins(5, 4, 4)); got != 3 {
+		t.Errorf("LowerBound = %d, want 3", got)
+	}
+	if got := LowerBound(nil, uniformBins(5, 4, 4)); got != 0 {
+		t.Errorf("empty LowerBound = %d", got)
+	}
+}
+
+func TestLowerBoundInfeasible(t *testing.T) {
+	items := []Item{{ID: 1, Demand: vector.New(100, 1)}}
+	bins := uniformBins(2, 8, 8)
+	if got := LowerBound(items, bins); got <= len(bins) {
+		t.Errorf("infeasible bound = %d, want > %d", got, len(bins))
+	}
+}
+
+func TestFleetBins(t *testing.T) {
+	dc := cluster.TableIIFleet()
+	bins := FleetBins(dc)
+	if len(bins) != 100 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Fast bins (50 W/slot) must be lighter than slow bins (75 W/slot).
+	var fastW, slowW float64
+	for _, b := range bins {
+		if dc.PM(cluster.PMID(b.ID)).Class.Name == "fast" {
+			fastW = b.Weight
+		} else {
+			slowW = b.Weight
+		}
+	}
+	if !(fastW < slowW) {
+		t.Errorf("fast weight %g not below slow %g", fastW, slowW)
+	}
+}
+
+func TestValidateCatchesOverfill(t *testing.T) {
+	items := []Item{
+		{ID: 1, Demand: vector.New(3, 3)},
+		{ID: 2, Demand: vector.New(3, 3)},
+	}
+	bins := uniformBins(2, 4, 4)
+	bad := Result{Assignment: map[int]int{1: 0, 2: 0}}
+	if err := Validate(items, bins, bad); err == nil {
+		t.Error("overfill not detected")
+	}
+	unknown := Result{Assignment: map[int]int{1: 99, 2: 0}}
+	if err := Validate(items, bins, unknown); err == nil {
+		t.Error("unknown bin not detected")
+	}
+	missing := Result{Assignment: map[int]int{1: 0}}
+	if err := Validate(items, bins, missing); err == nil {
+		t.Error("item-count mismatch not detected")
+	}
+}
+
+// Property: FFD results are always valid packings and never beat the lower
+// bound.
+func TestQuickFFDSoundness(t *testing.T) {
+	r := stats.NewRand(5)
+	f := func(raw []struct{ C, M uint8 }) bool {
+		items := make([]Item, 0, len(raw))
+		for i, x := range raw {
+			d := vector.New(float64(x.C%4)+0.5, float64(x.M%4)*0.5+0.25)
+			items = append(items, Item{ID: i, Demand: d})
+		}
+		nBins := len(items) + r.Intn(3) + 1
+		bins := uniformBins(nBins, 8, 8)
+		res := FirstFitDecreasing(items, bins)
+		if err := Validate(items, bins, res); err != nil {
+			return false
+		}
+		if len(res.Unplaced) > 0 {
+			return false // every item fits an empty (8,8) bin
+		}
+		return res.BinsUsed >= LowerBound(items, bins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFDTableIIFleet(b *testing.B) {
+	dc := cluster.TableIIFleet()
+	bins := FleetBins(dc)
+	r := stats.NewRand(1)
+	items := make([]Item, 300)
+	for i := range items {
+		items[i] = Item{ID: i, Demand: vector.New(1, float64(r.Intn(8)+1)*0.25)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FirstFitDecreasing(items, bins)
+	}
+}

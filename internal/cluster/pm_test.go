@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func testClass() *PMClass {
+	c := FastClass // copy
+	return &c
+}
+
+func TestPMClassValidate(t *testing.T) {
+	good := testClass()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Table II fast class invalid: %v", err)
+	}
+	bad := []*PMClass{
+		{},
+		{Name: "x", Capacity: vector.New(-1)},
+		{Name: "x", Capacity: vector.Zero(2)},
+		{Name: "x", Capacity: vector.New(1), CreationTime: -1, Reliability: 1},
+		{Name: "x", Capacity: vector.New(1), ActivePower: 100, IdlePower: 200, Reliability: 1},
+		{Name: "x", Capacity: vector.New(1), Reliability: 0},
+		{Name: "x", Capacity: vector.New(1), Reliability: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad class %d accepted", i)
+		}
+	}
+}
+
+func TestMaxMinimalVMs(t *testing.T) {
+	fast := testClass() // 8 cores, 8 GB
+	if got := fast.MaxMinimalVMs(vector.New(1, 0.25)); got != 8 {
+		t.Errorf("fast W_j = %d, want 8 (CPU-bound)", got)
+	}
+	slow := SlowClass
+	if got := slow.MaxMinimalVMs(vector.New(1, 0.25)); got != 4 {
+		t.Errorf("slow W_j = %d, want 4", got)
+	}
+	if got := fast.MaxMinimalVMs(vector.New(16, 1)); got != 0 {
+		t.Errorf("oversized rmin W_j = %d, want 0", got)
+	}
+	if got := fast.MaxMinimalVMs(vector.Zero(2)); got != 1 {
+		t.Errorf("zero rmin W_j = %d, want 1", got)
+	}
+}
+
+func TestPMHostEvict(t *testing.T) {
+	pm := NewPM(0, testClass())
+	pm.State = PMOn
+	vm := NewVM(1, vector.New(2, 1), 100, 100, 0)
+
+	if err := pm.Host(vm); err != nil {
+		t.Fatalf("Host: %v", err)
+	}
+	if vm.Host != 0 || !pm.HasVM(1) || pm.VMCount() != 1 {
+		t.Error("Host bookkeeping wrong")
+	}
+	if !pm.Used.Equal(vector.New(2, 1)) {
+		t.Errorf("Used = %v", pm.Used)
+	}
+	if err := pm.Evict(vm); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if vm.Host != NoPM || pm.VMCount() != 0 || !pm.Used.IsZero() {
+		t.Error("Evict bookkeeping wrong")
+	}
+}
+
+func TestPMHostErrors(t *testing.T) {
+	pm := NewPM(0, testClass())
+	vm := NewVM(1, vector.New(2, 1), 100, 100, 0)
+
+	if err := pm.Host(vm); err == nil {
+		t.Error("hosting on an off PM should fail")
+	}
+	pm.State = PMOn
+	if err := pm.Host(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Host(vm); err == nil {
+		t.Error("double-hosting the same VM should fail")
+	}
+	other := NewPM(1, testClass())
+	other.State = PMOn
+	if err := other.Host(vm); err == nil {
+		t.Error("hosting a VM placed elsewhere should fail")
+	}
+	big := NewVM(2, vector.New(100, 1), 10, 10, 0)
+	if err := pm.Host(big); err == nil {
+		t.Error("hosting an oversized VM should fail")
+	}
+}
+
+func TestPMEvictNotHosted(t *testing.T) {
+	pm := NewPM(0, testClass())
+	vm := NewVM(1, vector.New(1, 1), 10, 10, 0)
+	if err := pm.Evict(vm); err == nil {
+		t.Error("evicting a non-hosted VM should fail")
+	}
+}
+
+func TestPMCanHostStates(t *testing.T) {
+	pm := NewPM(0, testClass())
+	d := vector.New(1, 1)
+	for state, want := range map[PMState]bool{
+		PMOff: false, PMBooting: true, PMOn: true,
+		PMShuttingDown: false, PMFailed: false,
+	} {
+		pm.State = state
+		if pm.CanHost(d) != want {
+			t.Errorf("CanHost in %s = %v, want %v", state, pm.CanHost(d), want)
+		}
+	}
+}
+
+func TestPMVMsSorted(t *testing.T) {
+	pm := NewPM(0, testClass())
+	pm.State = PMOn
+	for _, id := range []VMID{5, 1, 3} {
+		if err := pm.Host(NewVM(id, vector.New(1, 1), 10, 10, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vms := pm.VMs()
+	if len(vms) != 3 || vms[0].ID != 1 || vms[1].ID != 3 || vms[2].ID != 5 {
+		t.Errorf("VMs order = %v", vms)
+	}
+}
+
+func TestPMIdleAndUtilization(t *testing.T) {
+	pm := NewPM(0, testClass()) // cap 8, 8
+	pm.State = PMOn
+	if !pm.Idle() {
+		t.Error("fresh on PM should be idle")
+	}
+	if pm.Utilization() != 0 {
+		t.Error("idle utilization != 0")
+	}
+	vm := NewVM(1, vector.New(4, 2), 10, 10, 0)
+	if err := pm.Host(vm); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Idle() {
+		t.Error("hosting PM reported idle")
+	}
+	want := (4.0 / 8.0) * (2.0 / 8.0)
+	if got := pm.Utilization(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization = %g, want %g", got, want)
+	}
+}
+
+func TestUtilizationLevel(t *testing.T) {
+	fast := testClass() // cap (8,8); rmin (1,0.25) -> W=8, umin = (1/8)(0.25/8) = 1/256
+	rmin := vector.New(1, 0.25)
+	umin := (1.0 / 8.0) * (0.25 / 8.0)
+
+	cases := []struct {
+		u     float64
+		level int
+	}{
+		{0, 0},
+		{umin / 2, 0},
+		{umin, 1},
+		{3.99 * umin, 1}, // below 2^2 umin
+		{4 * umin, 2},    // exactly 2^2 umin
+		{8.99 * umin, 2}, // below 3^2 umin
+		{9 * umin, 3},    // 3^2 umin
+		{64 * umin, 8},   // 8^2 umin = top level
+		{1, 8},           // fully utilized clamps to W_j
+	}
+	for _, c := range cases {
+		level, wj := UtilizationLevel(c.u, fast, rmin)
+		if wj != 8 {
+			t.Fatalf("W_j = %d, want 8", wj)
+		}
+		if level != c.level {
+			t.Errorf("level(u=%g) = %d, want %d", c.u, level, c.level)
+		}
+	}
+}
+
+func TestUtilizationLevelMatchesHostedMinimalVMs(t *testing.T) {
+	// Hosting w minimal VMs must land exactly in level w (Eq. 4).
+	rmin := vector.New(1, 0.25)
+	for w := 1; w <= 8; w++ {
+		pm := NewPM(0, testClass())
+		pm.State = PMOn
+		for i := 0; i < w; i++ {
+			if err := pm.Host(NewVM(VMID(i), rmin, 10, 10, 0)); err != nil {
+				t.Fatalf("w=%d host %d: %v", w, i, err)
+			}
+		}
+		if got := pm.UtilizationLevel(rmin); got != w {
+			t.Errorf("hosting %d minimal VMs -> level %d", w, got)
+		}
+	}
+}
+
+func TestUtilizationLevelDegenerate(t *testing.T) {
+	c := &PMClass{Name: "x", Capacity: vector.New(4), ActivePower: 1, Reliability: 1}
+	// rmin with zero component: umin = 0.
+	level, wj := UtilizationLevel(0.5, c, vector.Zero(1))
+	if level != wj {
+		t.Errorf("degenerate busy level = %d, want W_j=%d", level, wj)
+	}
+	level, _ = UtilizationLevel(0, c, vector.Zero(1))
+	if level != 0 {
+		t.Errorf("degenerate idle level = %d, want 0", level)
+	}
+	// Class that cannot host one minimal VM.
+	level, wj = UtilizationLevel(0.5, c, vector.New(10))
+	if level != 0 || wj != 0 {
+		t.Errorf("unhostable class level/wj = %d/%d, want 0/0", level, wj)
+	}
+}
+
+func TestPMStateString(t *testing.T) {
+	for s, want := range map[PMState]string{
+		PMOff: "off", PMBooting: "booting", PMOn: "on",
+		PMShuttingDown: "shutting-down", PMFailed: "failed",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(PMState(9).String(), "9") {
+		t.Error("unknown state should show its number")
+	}
+}
+
+func TestPMString(t *testing.T) {
+	pm := NewPM(2, testClass())
+	if s := pm.String(); !strings.Contains(s, "PM2") || !strings.Contains(s, "fast") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewPMPanicsOnNilClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPM(0, nil)
+}
+
+// Property: Host then Evict restores exact resource accounting for any
+// feasible sequence of small VMs.
+func TestQuickHostEvictConservation(t *testing.T) {
+	f := func(demands [6][2]uint8) bool {
+		pm := NewPM(0, testClass())
+		pm.State = PMOn
+		var hosted []*VM
+		for i, d := range demands {
+			vm := NewVM(VMID(i), vector.New(float64(d[0]%4), float64(d[1]%4)/2), 10, 10, 0)
+			if pm.CanHost(vm.Demand) {
+				if err := pm.Host(vm); err != nil {
+					return false
+				}
+				hosted = append(hosted, vm)
+			}
+		}
+		for _, vm := range hosted {
+			if err := pm.Evict(vm); err != nil {
+				return false
+			}
+		}
+		return pm.Used.IsZero() && pm.VMCount() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utilization level is monotone in utilization.
+func TestQuickUtilizationLevelMonotone(t *testing.T) {
+	rmin := vector.New(1, 0.25)
+	c := testClass()
+	f := func(a, b uint16) bool {
+		ua := float64(a) / float64(math.MaxUint16)
+		ub := float64(b) / float64(math.MaxUint16)
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		la, _ := UtilizationLevel(ua, c, rmin)
+		lb, _ := UtilizationLevel(ub, c, rmin)
+		return la <= lb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import "repro/internal/vector"
+
+// Resource vector component indices used by the Table II configuration and
+// the workload layer. The paper's evaluation considers exactly two resource
+// types: CPU (cores) and memory (GB).
+const (
+	ResCPU = 0 // cores
+	ResMem = 1 // gigabytes
+	// ResDim is the resource dimension K of the Table II setup.
+	ResDim = 2
+)
+
+// Table II of the paper, "Data center parameter settings":
+//
+//	Nodes                         Fast   Slow
+//	Number                          25     75
+//	VM creation time (s)            30     40
+//	VM migration time (s)           40     45
+//	ON/OFF overhead (s)             50     55
+//	Number of processors             2      2
+//	Cores per processor              4      2
+//	Memory (G)                       8      4
+//	Active power consumption (W)   400    300
+//	Idle power consumption (W)     240    180
+//
+// FastClass and SlowClass encode those constants. Reliability is not given
+// numerically in the paper; we default both classes to the same high value
+// so the reliability factor is neutral in the Table II experiments, and the
+// failure example overrides it.
+var (
+	FastClass = PMClass{
+		Name:          "fast",
+		Capacity:      vector.V{8, 8}, // 2 processors x 4 cores, 8 GB
+		CreationTime:  30,
+		MigrationTime: 40,
+		OnOffOverhead: 50,
+		ActivePower:   400,
+		IdlePower:     240,
+		Reliability:   0.99,
+	}
+	SlowClass = PMClass{
+		Name:          "slow",
+		Capacity:      vector.V{4, 4}, // 2 processors x 2 cores, 4 GB
+		CreationTime:  40,
+		MigrationTime: 45,
+		OnOffOverhead: 55,
+		ActivePower:   300,
+		IdlePower:     180,
+		Reliability:   0.99,
+	}
+)
+
+// TableIIRMin is the minimal VM request in the Table II experiments: one
+// core and the smallest memory grant the filtered trace produces (0.25 GB).
+var TableIIRMin = vector.V{1, 0.25}
+
+// TableIIFleet returns the paper's evaluation data center: 100 nodes, 25
+// fast and 75 slow. Fresh class copies are made per call so callers can
+// tweak (e.g. reliability) without affecting other fleets.
+func TableIIFleet() *Datacenter {
+	fast := FastClass
+	slow := SlowClass
+	return MustNew(Config{
+		RMin: TableIIRMin.Clone(),
+		Groups: []Group{
+			{Class: &fast, Count: 25},
+			{Class: &slow, Count: 75},
+		},
+	})
+}
+
+// TableIIFleetScaled returns a fleet with the Table II 1:3 fast/slow mix
+// scaled to approximately n nodes (at least one of each class). Used by
+// benchmarks that sweep data-center size.
+func TableIIFleetScaled(n int) *Datacenter {
+	if n < 2 {
+		n = 2
+	}
+	fastN := n / 4
+	if fastN < 1 {
+		fastN = 1
+	}
+	slowN := n - fastN
+	fast := FastClass
+	slow := SlowClass
+	return MustNew(Config{
+		RMin: TableIIRMin.Clone(),
+		Groups: []Group{
+			{Class: &fast, Count: fastN},
+			{Class: &slow, Count: slowN},
+		},
+	})
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Matrix is the VM/PM mapping probability matrix of Eq. 1: M rows (active
+// PMs) by N columns (migratable VMs). It maintains, per column, the joint
+// probability of the VM's *current* placement and the best normalized
+// alternative, so Algorithm 1 can repeatedly extract the best move and
+// refresh only the two affected rows.
+type Matrix struct {
+	ctx     *Context
+	factors []Factor
+
+	pms []*cluster.PM // rows
+	vms []*cluster.VM // columns
+
+	rowOf map[cluster.PMID]int
+	colOf map[cluster.VMID]int
+
+	// p[r][c] = joint probability of hosting vms[c] on pms[r].
+	p [][]float64
+
+	// curRow[c] is the row index of vms[c]'s current host; curProb[c]
+	// the joint probability of that placement (the column normalizer).
+	curRow  []int
+	curProb []float64
+
+	// bestRow[c] / bestGain[c] track the maximizing non-host row of the
+	// normalized column and its value d = p / curProb.
+	bestRow  []int
+	bestGain []float64
+}
+
+// NewMatrix builds the probability matrix over the data center's active
+// PMs and the given VMs (typically every running VM). Every VM must
+// currently be hosted on an active PM. Rows and columns are ordered by ID
+// for deterministic tie-breaking.
+func NewMatrix(ctx *Context, factors []Factor, vms []*cluster.VM) (*Matrix, error) {
+	if ctx == nil || ctx.DC == nil {
+		return nil, fmt.Errorf("core: matrix needs a context with a datacenter")
+	}
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("core: matrix needs at least one factor")
+	}
+	m := &Matrix{
+		ctx:     ctx,
+		factors: factors,
+		pms:     ctx.DC.ActivePMs(),
+		rowOf:   make(map[cluster.PMID]int),
+		colOf:   make(map[cluster.VMID]int),
+	}
+	sort.Slice(m.pms, func(i, j int) bool { return m.pms[i].ID < m.pms[j].ID })
+	for r, pm := range m.pms {
+		m.rowOf[pm.ID] = r
+	}
+
+	m.vms = append(m.vms, vms...)
+	sort.Slice(m.vms, func(i, j int) bool { return m.vms[i].ID < m.vms[j].ID })
+	for c, vm := range m.vms {
+		if _, dup := m.colOf[vm.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate VM %d in matrix", vm.ID)
+		}
+		if _, ok := m.rowOf[vm.Host]; !ok {
+			return nil, fmt.Errorf("core: VM %d hosted on inactive PM %d", vm.ID, vm.Host)
+		}
+		m.colOf[vm.ID] = c
+	}
+
+	m.p = make([][]float64, len(m.pms))
+	for r := range m.p {
+		m.p[r] = make([]float64, len(m.vms))
+	}
+	m.curRow = make([]int, len(m.vms))
+	m.curProb = make([]float64, len(m.vms))
+	m.bestRow = make([]int, len(m.vms))
+	m.bestGain = make([]float64, len(m.vms))
+
+	m.fill()
+	for c := range m.vms {
+		m.refreshColumn(c)
+	}
+	return m, nil
+}
+
+// parallelBuildThreshold is the matrix size (rows * cols) above which the
+// initial fill fans out across CPUs. Below it, goroutine overhead beats
+// the win. Variable rather than constant so tests can force both paths.
+var parallelBuildThreshold = 50_000
+
+// fill computes every p[r][c]. Rows are independent, so for large fleets
+// the build is sharded across workers; the per-class constants are
+// prewarmed first so the Context's lazy cache is read-only during the
+// parallel phase (no locking on the hot path).
+func (m *Matrix) fill() {
+	if len(m.pms)*len(m.vms) < parallelBuildThreshold {
+		for r, pm := range m.pms {
+			for c, vm := range m.vms {
+				m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+			}
+		}
+		return
+	}
+	for _, pm := range m.pms {
+		m.ctx.classInfoFor(pm) // prewarm: cache becomes read-only below
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(m.pms) {
+		workers = len(m.pms)
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rows {
+				pm := m.pms[r]
+				for c, vm := range m.vms {
+					m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+				}
+			}
+		}()
+	}
+	for r := range m.pms {
+		rows <- r
+	}
+	close(rows)
+	wg.Wait()
+}
+
+// Rows and Cols report the matrix dimensions.
+func (m *Matrix) Rows() int { return len(m.pms) }
+
+// Cols reports the number of VM columns.
+func (m *Matrix) Cols() int { return len(m.vms) }
+
+// P returns the joint probability for (pm row r, vm column c).
+func (m *Matrix) P(r, c int) float64 { return m.p[r][c] }
+
+// Normalized returns d_rc = p_rc / p_(current host of c), the column-
+// normalized value Algorithm 1 compares against MIG_threshold. Values
+// above 1 indicate the move improves the mapping; the current host is
+// exactly 1. When the current placement has probability 0 (which can
+// happen when a VM's remaining estimate has expired and its host became
+// unreliable), any feasible alternative is treated as +Inf gain.
+func (m *Matrix) Normalized(r, c int) float64 {
+	if r == m.curRow[c] {
+		return 1
+	}
+	return m.normalize(m.p[r][c], m.curProb[c])
+}
+
+func (m *Matrix) normalize(p, cur float64) float64 {
+	if cur <= 0 {
+		if p > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return p / cur
+}
+
+// refreshColumn recomputes curRow/curProb and the best alternative for
+// column c by scanning all rows.
+func (m *Matrix) refreshColumn(c int) {
+	vm := m.vms[c]
+	cr, ok := m.rowOf[vm.Host]
+	if !ok {
+		panic(fmt.Sprintf("core: VM %d host %d left the matrix", vm.ID, vm.Host))
+	}
+	m.curRow[c] = cr
+	m.curProb[c] = m.p[cr][c]
+
+	bestRow, bestGain := -1, 0.0
+	for r := range m.pms {
+		if r == cr {
+			continue
+		}
+		if g := m.normalize(m.p[r][c], m.curProb[c]); g > bestGain {
+			bestGain, bestRow = g, r
+		}
+	}
+	m.bestRow[c] = bestRow
+	m.bestGain[c] = bestGain
+}
+
+// recomputeRow re-evaluates every probability in row r and incrementally
+// fixes the per-column best trackers. Columns whose current host is row r
+// get a full refresh (their normalizer changed); for the rest the row's
+// new value either beats the cached best, or — if the cached best lived in
+// this row — forces a column rescan.
+func (m *Matrix) recomputeRow(r int) {
+	pm := m.pms[r]
+	for c, vm := range m.vms {
+		m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+	}
+	for c := range m.vms {
+		switch {
+		case m.curRow[c] == r || m.rowOf[m.vms[c].Host] != m.curRow[c]:
+			// Normalizer changed (this row hosts the column's VM,
+			// or the VM moved since the trackers were computed).
+			m.refreshColumn(c)
+		case m.bestRow[c] == r:
+			// Cached best was in this row; it may have dropped.
+			m.refreshColumn(c)
+		default:
+			if g := m.normalize(m.p[r][c], m.curProb[c]); g > m.bestGain[c] {
+				m.bestGain[c] = g
+				m.bestRow[c] = r
+			}
+		}
+	}
+}
+
+// Best returns the globally maximal normalized gain and its (row, col), or
+// ok = false when no column has a positive-gain alternative. Ties break
+// toward the lowest column (VM ID) then lowest row (PM ID), keeping runs
+// deterministic.
+func (m *Matrix) Best() (r, c int, gain float64, ok bool) {
+	r, c, gain = -1, -1, 0
+	for col := range m.vms {
+		g := m.bestGain[col]
+		if m.bestRow[col] < 0 {
+			continue
+		}
+		if g > gain {
+			gain, r, c, ok = g, m.bestRow[col], col, true
+		}
+	}
+	return r, c, gain, ok
+}
+
+// Move is one migration decision produced by Algorithm 1.
+type Move struct {
+	VM   cluster.VMID
+	From cluster.PMID
+	To   cluster.PMID
+
+	// Gain is the normalized probability ratio d_ij that justified the
+	// move (> MIG_threshold).
+	Gain float64
+
+	// Round is the 1-based migration round within the consolidation
+	// pass.
+	Round int
+}
+
+// Apply performs the move for column c to row r: it evicts the VM from its
+// current host, hosts it on the target PM, and refreshes the two affected
+// rows. The datacenter state is mutated. Apply returns an error if the
+// target cannot actually host the VM (which would indicate a factor bug,
+// since p_res must have been positive).
+func (m *Matrix) Apply(r, c int) error {
+	vm := m.vms[c]
+	from := m.pms[m.curRow[c]]
+	to := m.pms[r]
+	if err := from.Evict(vm); err != nil {
+		return fmt.Errorf("core: apply move of VM %d: %w", vm.ID, err)
+	}
+	if err := to.Host(vm); err != nil {
+		// Roll back so the model stays consistent.
+		if rbErr := from.Host(vm); rbErr != nil {
+			panic(fmt.Sprintf("core: rollback failed after host error (%v): %v", err, rbErr))
+		}
+		return fmt.Errorf("core: apply move of VM %d: %w", vm.ID, err)
+	}
+	vm.Migrations++
+	m.recomputeRow(m.rowOf[from.ID])
+	m.recomputeRow(m.rowOf[to.ID])
+	return nil
+}
+
+// String renders the normalized matrix for debugging, in the layout of the
+// paper's worked example (PM rows x VM columns).
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "")
+	for _, vm := range m.vms {
+		fmt.Fprintf(&b, " VM%-6d", vm.ID)
+	}
+	b.WriteByte('\n')
+	for r, pm := range m.pms {
+		fmt.Fprintf(&b, "PM%-6d", pm.ID)
+		for c := range m.vms {
+			fmt.Fprintf(&b, " %8.4f", m.Normalized(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

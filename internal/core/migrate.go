@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Params are the two knobs the paper uses to restrain dynamic migration
+// (Section III.C).
+type Params struct {
+	// MIGThreshold is the minimum normalized gain a migration must
+	// achieve; the paper's example uses 1.05. Values <= 1 allow
+	// zero-improvement churn and are rejected.
+	MIGThreshold float64
+
+	// MIGRound caps migration rounds per consolidation pass.
+	MIGRound int
+}
+
+// DefaultParams returns the paper's example settings.
+func DefaultParams() Params {
+	return Params{MIGThreshold: 1.05, MIGRound: 10}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if !(p.MIGThreshold > 1) {
+		return fmt.Errorf("core: MIG_threshold must exceed 1, got %g", p.MIGThreshold)
+	}
+	if p.MIGRound <= 0 {
+		return fmt.Errorf("core: MIG_round must be positive, got %d", p.MIGRound)
+	}
+	return nil
+}
+
+// Consolidate runs Algorithm 1 (dynamic VM migration) over the data
+// center's currently running VMs: build the probability matrix, normalize
+// each column by its current placement, and while the largest normalized
+// value exceeds MIG_threshold (and fewer than MIG_round rounds have run),
+// migrate that VM and refresh the affected rows. The datacenter state is
+// mutated; the executed moves are returned in order.
+//
+// Only VMs in the Running state participate: creating and migrating VMs
+// are in transition and queued VMs hold no resources.
+func Consolidate(ctx *Context, factors []Factor, params Params) ([]Move, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	vms := runningVMs(ctx.DC)
+	if len(vms) == 0 {
+		return nil, nil
+	}
+	m, err := NewMatrix(ctx, factors, vms)
+	if err != nil {
+		return nil, err
+	}
+	var moves []Move
+	for round := 1; round <= params.MIGRound; round++ {
+		r, c, gain, ok := m.Best()
+		if !ok || gain <= params.MIGThreshold || math.IsNaN(gain) {
+			break
+		}
+		vm := m.vms[c]
+		from := vm.Host
+		if err := m.Apply(r, c); err != nil {
+			return moves, err
+		}
+		moves = append(moves, Move{
+			VM: vm.ID, From: from, To: vm.Host, Gain: gain, Round: round,
+		})
+	}
+	return moves, nil
+}
+
+// runningVMs collects the VMs eligible for migration, sorted by ID.
+func runningVMs(dc *cluster.Datacenter) []*cluster.VM {
+	var out []*cluster.VM
+	for _, vm := range dc.RunningVMs() {
+		if vm.State == cluster.VMRunning {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Placement scores one candidate PM for a new VM request.
+type Placement struct {
+	PM          *cluster.PM
+	Probability float64
+}
+
+// RankPlacements evaluates the new-arrival column of the probability
+// matrix: the joint probability of hosting vm on every active PM, sorted
+// by decreasing probability (ties toward lower PM ID). Infeasible PMs
+// (probability 0) are omitted.
+//
+// This is the paper's arrival path: "if a new VM request arrives, we only
+// calculate the probability in the new VM column and allocate it to the PM
+// with the highest probability".
+func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement {
+	var out []Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if p := Joint(ctx, factors, vm, pm, false); p > 0 {
+			out = append(out, Placement{PM: pm, Probability: p})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].PM.ID < out[j].PM.ID
+	})
+	return out
+}
+
+// BestPlacement returns the highest-probability PM for vm, or nil when no
+// active PM can host it (the caller then boots a machine or queues the
+// request).
+func BestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
+	ranked := RankPlacements(ctx, factors, vm)
+	if len(ranked) == 0 {
+		return nil
+	}
+	return ranked[0].PM
+}

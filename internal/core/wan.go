@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// WANFactor models inter-datacenter migration cost for the multi-
+// geographical-datacenter setting of the paper's future work ("VM
+// migrations will be performed not only inside a data center but also
+// among data centers"). Machines are grouped into sites; migrating a VM
+// between sites moves its state across a WAN link, which multiplies the
+// effective migration time. The factor applies the same quadratic
+// remaining-runtime penalty as Eq. 3, but against the *extra* WAN transfer
+// cost, so it composes cleanly with the intra-DC VirtualizationFactor:
+//
+//	p_ij^wan = 1                                      same site / new VM
+//	           ((T_re - T_wan) / T_re)^2              cross-site, feasible
+//	           0                                      cross-site, T_re <= T_wan
+//
+// where T_wan = (WANMultiplier - 1) * T_mig(target) is the additional
+// transfer time a WAN migration costs over a LAN one.
+type WANFactor struct {
+	// SiteOf maps PMs to site names; unmapped PMs belong to DefaultSite.
+	SiteOf map[cluster.PMID]string
+
+	// DefaultSite names the site of unmapped PMs.
+	DefaultSite string
+
+	// WANMultiplier scales migration time across sites; must be >= 1.
+	// A value of 5 means a cross-site migration takes 5x the target's
+	// LAN T_mig.
+	WANMultiplier float64
+}
+
+// NewWANFactor builds the factor; it panics on a multiplier below 1
+// (cross-site migration cannot be cheaper than local).
+func NewWANFactor(defaultSite string, multiplier float64) *WANFactor {
+	if multiplier < 1 {
+		panic(fmt.Sprintf("core: WAN multiplier %g < 1", multiplier))
+	}
+	return &WANFactor{
+		SiteOf:        make(map[cluster.PMID]string),
+		DefaultSite:   defaultSite,
+		WANMultiplier: multiplier,
+	}
+}
+
+// Assign places a PM in a site.
+func (f *WANFactor) Assign(pm cluster.PMID, site string) { f.SiteOf[pm] = site }
+
+// Site returns a PM's site.
+func (f *WANFactor) Site(pm cluster.PMID) string {
+	if s, ok := f.SiteOf[pm]; ok {
+		return s
+	}
+	return f.DefaultSite
+}
+
+// Name implements Factor.
+func (*WANFactor) Name() string { return "wan" }
+
+// Probability implements Factor.
+func (f *WANFactor) Probability(ctx *Context, vm *cluster.VM, pm *cluster.PM, hosted bool) float64 {
+	if hosted || vm.Host == cluster.NoPM {
+		return 1 // staying put, or an initial placement with no state to ship
+	}
+	if f.Site(vm.Host) == f.Site(pm.ID) {
+		return 1
+	}
+	tre := vm.RemainingEstimate(ctx.Now)
+	if tre <= 0 {
+		return 0
+	}
+	extra := (f.WANMultiplier - 1) * pm.Class.MigrationTime
+	q := (tre - extra) / tre
+	if q <= 0 {
+		return 0
+	}
+	return q * q
+}

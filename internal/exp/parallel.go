@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParallelComparison runs every scheme in opts concurrently, one goroutine
+// per scheme. Each run owns a private fleet and placer (sim state is
+// single-threaded per run; runs share nothing but the immutable request
+// slice), so this is a safe, embarrassingly parallel fan-out that cuts the
+// wall-clock of cmd/experiments roughly by the scheme count. Results come
+// back in the order of opts.Schemes regardless of completion order.
+func ParallelComparison(opts Options) ([]*SchemeRun, error) {
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = DefaultOptions(opts.Seed).Schemes
+	}
+	reqs := opts.Trace
+	if reqs == nil {
+		_, reqs = WeekTrace(opts.Seed)
+	}
+
+	runs := make([]*SchemeRun, len(opts.Schemes))
+	errs := make([]error, len(opts.Schemes))
+	var wg sync.WaitGroup
+	for i, name := range opts.Schemes {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			runs[i], errs[i] = RunScheme(name, reqs, opts)
+		}(i, name)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: parallel scheme %s: %w", opts.Schemes[i], err)
+		}
+	}
+	return runs, nil
+}
+
+// Sweep runs fn for every parameter value concurrently and returns results
+// in input order. It is the generic fan-out behind parallel ablation
+// sweeps: fn must be self-contained (build its own fleet, share nothing
+// mutable).
+func Sweep[P any](params []P, fn func(P) (*SchemeRun, error)) ([]*SchemeRun, error) {
+	runs := make([]*SchemeRun, len(params))
+	errs := make([]error, len(params))
+	var wg sync.WaitGroup
+	for i, p := range params {
+		wg.Add(1)
+		go func(i int, p P) {
+			defer wg.Done()
+			runs[i], errs[i] = fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: sweep item %d: %w", i, err)
+		}
+	}
+	return runs, nil
+}

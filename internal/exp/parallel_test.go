@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestParallelComparisonMatchesSequential(t *testing.T) {
+	opts := smallOptions()
+	seq, err := Comparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Scheme != par[i].Scheme {
+			t.Errorf("order differs at %d: %s vs %s", i, seq[i].Scheme, par[i].Scheme)
+		}
+		if seq[i].WeekEnergyKWh != par[i].WeekEnergyKWh {
+			t.Errorf("%s energy differs: %g vs %g",
+				seq[i].Scheme, seq[i].WeekEnergyKWh, par[i].WeekEnergyKWh)
+		}
+		if seq[i].Summary.Migrations != par[i].Summary.Migrations {
+			t.Errorf("%s migrations differ", seq[i].Scheme)
+		}
+	}
+}
+
+func TestParallelComparisonPropagatesErrors(t *testing.T) {
+	opts := smallOptions()
+	opts.Schemes = []string{"first-fit", "bogus"}
+	if _, err := ParallelComparison(opts); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	opts := smallOptions()
+	thresholds := []float64{1.05, 1.5}
+	runs, err := Sweep(thresholds, func(th float64) (*SchemeRun, error) {
+		params := core.DefaultParams()
+		params.MIGThreshold = th
+		placer := policy.NewDynamicVariant("x", core.DefaultFactors(), params)
+		return runPlacer(placer, false, opts.Trace, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	if runs[1].Summary.Migrations > runs[0].Summary.Migrations {
+		t.Error("tighter threshold migrated more")
+	}
+}
+
+func TestSweepError(t *testing.T) {
+	_, err := Sweep([]int{1}, func(int) (*SchemeRun, error) {
+		return nil, errBoom
+	})
+	if err == nil {
+		t.Error("sweep error swallowed")
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+func TestJSONRoundTrip(t *testing.T) {
+	runs, err := Comparison(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(runs) {
+		t.Fatalf("records = %d", len(records))
+	}
+	for i, rec := range records {
+		if rec.Scheme != runs[i].Scheme {
+			t.Errorf("record %d scheme = %q", i, rec.Scheme)
+		}
+		if rec.WeekEnergyKWh != runs[i].WeekEnergyKWh {
+			t.Errorf("record %d energy mismatch", i)
+		}
+		if len(rec.HourlyActivePMs) == 0 || len(rec.HourlyActivePMs) > WeekHours {
+			t.Errorf("record %d series length %d", i, len(rec.HourlyActivePMs))
+		}
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestRobustnessStudySmall(t *testing.T) {
+	opts := smallOptions()
+	opts.Schemes = []string{"first-fit", "dynamic"}
+	opts.TraceGen = func(seed int64) []workload.Request {
+		// Seed-perturbed variant of the small fragmenting trace.
+		rs := smallTrace()
+		for i := range rs {
+			rs[i].Submit += float64(int(seed) * (i % 7))
+		}
+		return rs
+	}
+	studies, err := RobustnessStudy(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) != 2 {
+		t.Fatalf("studies = %d", len(studies))
+	}
+	for _, st := range studies {
+		if len(st.EnergyKWh) != 2 {
+			t.Errorf("%s has %d seeds", st.Scheme, len(st.EnergyKWh))
+		}
+		for _, e := range st.EnergyKWh {
+			if e <= 0 {
+				t.Errorf("%s energy %g", st.Scheme, e)
+			}
+		}
+	}
+	out := RobustnessReport(studies)
+	if !strings.Contains(out, "dynamic beats first-fit") {
+		t.Errorf("report missing win line:\n%s", out)
+	}
+}
+
+func TestRobustnessStudyValidation(t *testing.T) {
+	if _, err := RobustnessStudy(0, smallOptions()); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestRobustnessReportWithoutDynamic(t *testing.T) {
+	out := RobustnessReport([]*SeedStudy{{Scheme: "first-fit", EnergyKWh: []float64{1}}})
+	if strings.Contains(out, "beats") {
+		t.Error("win lines without a dynamic study")
+	}
+}
+
+func TestGoogleTraceShape(t *testing.T) {
+	reqs := GoogleTrace(2)
+	if len(reqs) < 15000 {
+		t.Errorf("google-like trace too small: %d requests", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Submit < reqs[i-1].Submit {
+			t.Fatal("trace not sorted")
+		}
+	}
+	// Median runtime must be in the minutes range, not hours.
+	runtimes := make([]float64, len(reqs))
+	for i, q := range reqs {
+		runtimes[i] = q.RunTime
+	}
+	if med := stats.Median(runtimes); med > 3600 {
+		t.Errorf("median runtime %gs, want sub-hour cloud tasks", med)
+	}
+}

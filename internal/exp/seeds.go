@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SeedStudy holds the cross-seed robustness results for one scheme: the
+// figure-window energies observed across independently generated weeks.
+type SeedStudy struct {
+	Scheme     string
+	EnergyKWh  []float64 // one entry per seed
+	MeanActive []float64
+	Queued     []float64
+}
+
+// RobustnessStudy reruns the scheme comparison over n different workload
+// seeds (1..n), all runs in parallel, and aggregates per-scheme
+// distributions. It answers the question single-seed figures cannot: does
+// the dynamic scheme's win survive workload resampling?
+func RobustnessStudy(n int, base Options) ([]*SeedStudy, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("exp: robustness study needs at least one seed")
+	}
+	if len(base.Schemes) == 0 {
+		base.Schemes = DefaultOptions(base.Seed).Schemes
+	}
+
+	traceGen := base.TraceGen
+	if traceGen == nil {
+		traceGen = func(seed int64) []workload.Request {
+			_, reqs := WeekTrace(seed)
+			return reqs
+		}
+	}
+
+	type cell struct {
+		run *SchemeRun
+		err error
+	}
+	grid := make([][]cell, n)
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		grid[si] = make([]cell, len(base.Schemes))
+		opts := base
+		opts.Seed = int64(si + 1)
+		opts.Trace = nil // each seed generates its own workload
+		reqs := traceGen(opts.Seed)
+		for pi, scheme := range base.Schemes {
+			wg.Add(1)
+			go func(si, pi int, scheme string, opts Options) {
+				defer wg.Done()
+				r, err := RunScheme(scheme, reqs, opts)
+				grid[si][pi] = cell{run: r, err: err}
+			}(si, pi, scheme, opts)
+		}
+	}
+	wg.Wait()
+
+	studies := make([]*SeedStudy, len(base.Schemes))
+	for pi, scheme := range base.Schemes {
+		st := &SeedStudy{Scheme: scheme}
+		for si := 0; si < n; si++ {
+			c := grid[si][pi]
+			if c.err != nil {
+				return nil, fmt.Errorf("exp: seed %d scheme %s: %w", si+1, scheme, c.err)
+			}
+			st.EnergyKWh = append(st.EnergyKWh, c.run.WeekEnergyKWh)
+			st.MeanActive = append(st.MeanActive, c.run.Summary.MeanActivePMs)
+			st.Queued = append(st.Queued, c.run.Summary.QueuedFraction)
+		}
+		studies[pi] = st
+	}
+	return studies, nil
+}
+
+// GoogleTrace generates, filters, and splits a week of the Google-like
+// cloud workload preset, the alternate trace for the E-R2 generality
+// study.
+func GoogleTrace(seed int64) []workload.Request {
+	jobs := workload.MustGenerate(workload.GoogleLikeConfig(seed))
+	jobs = workload.Filter(jobs, workload.DefaultFilter())
+	return workload.ToRequests(jobs)
+}
+
+// GeneralityStudy runs the scheme comparison on the Google-like workload:
+// same fleet, same schemes, a completely different trace character.
+func GeneralityStudy(opts Options) ([]*SchemeRun, error) {
+	opts.Trace = GoogleTrace(opts.Seed)
+	return ParallelComparison(opts)
+}
+
+// RobustnessReport renders per-scheme mean +/- stddev across seeds, plus
+// the dynamic scheme's per-seed win count against each baseline.
+func RobustnessReport(studies []*SeedStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %18s %14s %10s\n", "scheme", "week kWh (mean±sd)", "meanPMs", "queued%")
+	for _, st := range studies {
+		fmt.Fprintf(&b, "%-12s %10.1f ± %5.1f %14.1f %9.2f%%\n",
+			st.Scheme, stats.Mean(st.EnergyKWh), stats.StdDev(st.EnergyKWh),
+			stats.Mean(st.MeanActive), stats.Mean(st.Queued)*100)
+	}
+	var dyn *SeedStudy
+	for _, st := range studies {
+		if st.Scheme == "dynamic" {
+			dyn = st
+			break
+		}
+	}
+	if dyn == nil {
+		return b.String()
+	}
+	for _, st := range studies {
+		if st == dyn {
+			continue
+		}
+		wins := 0
+		for i := range dyn.EnergyKWh {
+			if dyn.EnergyKWh[i] < st.EnergyKWh[i] {
+				wins++
+			}
+		}
+		fmt.Fprintf(&b, "dynamic beats %-10s on %d/%d seeds\n", st.Scheme, wins, len(dyn.EnergyKWh))
+	}
+	return b.String()
+}

@@ -1,0 +1,257 @@
+// Package metrics collects and renders the time series the experiment
+// harness reports: hourly active-server counts, hourly/daily power, QoS
+// statistics, and run summaries. Output formats are CSV (for plotting) and
+// aligned text tables (for terminal inspection), matching what the paper's
+// Figures 3-5 plot.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a named, regularly sampled time series. Sample i covers the
+// interval [i*Step, (i+1)*Step) seconds.
+type Series struct {
+	Name   string
+	Step   float64
+	Values []float64
+}
+
+// NewSeries creates an empty series with the given sampling step.
+func NewSeries(name string, step float64) *Series {
+	if step <= 0 {
+		panic(fmt.Sprintf("metrics: step must be positive, got %g", step))
+	}
+	return &Series{Name: name, Step: step}
+}
+
+// Append adds the next sample.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns sample i, or 0 when out of range (simplifies ragged
+// comparisons between schemes).
+func (s *Series) At(i int) float64 {
+	if i < 0 || i >= len(s.Values) {
+		return 0
+	}
+	return s.Values[i]
+}
+
+// Sum returns the sum of all samples.
+func (s *Series) Sum() float64 {
+	var t float64
+	for _, v := range s.Values {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.Values))
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, v := range s.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Downsample aggregates groups of n samples by summing, producing a series
+// with step n*Step (hourly -> daily with n = 24).
+func (s *Series) Downsample(n int) *Series {
+	if n <= 0 {
+		panic(fmt.Sprintf("metrics: downsample factor must be positive, got %d", n))
+	}
+	out := NewSeries(s.Name, s.Step*float64(n))
+	for i, v := range s.Values {
+		if i%n == 0 {
+			out.Values = append(out.Values, 0)
+		}
+		out.Values[len(out.Values)-1] += v
+	}
+	return out
+}
+
+// Table renders multiple series side by side.
+type Table struct {
+	// TimeLabel heads the first column ("hour", "day").
+	TimeLabel string
+	Series    []*Series
+}
+
+// WriteCSV emits "time,name1,name2,..." rows. Times are in units of the
+// first series' step.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if len(t.Series) == 0 {
+		return fmt.Errorf("metrics: empty table")
+	}
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.TimeLabel)
+	rows := 0
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+		if s.Len() > rows {
+			rows = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		fields := make([]string, 0, len(t.Series)+1)
+		fields = append(fields, fmt.Sprintf("%d", i))
+		for _, s := range t.Series {
+			fields = append(fields, formatValue(s.At(i)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText emits an aligned, human-readable table.
+func (t *Table) WriteText(w io.Writer) error {
+	if len(t.Series) == 0 {
+		return fmt.Errorf("metrics: empty table")
+	}
+	rows := 0
+	for _, s := range t.Series {
+		if s.Len() > rows {
+			rows = s.Len()
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-6s", t.TimeLabel); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		if _, err := fmt.Fprintf(w, " %14s", s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := fmt.Fprintf(w, "%-6d", i); err != nil {
+			return err
+		}
+		for _, s := range t.Series {
+			if _, err := fmt.Fprintf(w, " %14s", formatValue(s.At(i))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// sparkRunes are the eight block heights a sparkline quantizes into.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a one-line unicode chart, scaled to the
+// series' own maximum — the quick-look rendering cmd/experiments prints
+// next to each Figure 3/4 series.
+func (s *Series) Sparkline() string {
+	if len(s.Values) == 0 {
+		return ""
+	}
+	max := s.Max()
+	out := make([]rune, len(s.Values))
+	for i, v := range s.Values {
+		if max <= 0 || v <= 0 {
+			out[i] = sparkRunes[0]
+			continue
+		}
+		idx := int(v / max * float64(len(sparkRunes)))
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// Summary aggregates one simulation run's outcome; the experiment harness
+// compares Summaries across schemes.
+type Summary struct {
+	Scheme string
+
+	// TotalEnergyKWh is the week's total energy.
+	TotalEnergyKWh float64
+
+	// MeanActivePMs / PeakActivePMs summarize the hourly active-server
+	// series (Figure 3).
+	MeanActivePMs float64
+	PeakActivePMs float64
+
+	// Migrations is the number of live migrations executed.
+	Migrations int
+
+	// Boots counts PM power-on transitions.
+	Boots int
+
+	// VMsCompleted / VMsQueuedLong track QoS: QueuedFraction is the
+	// share of requests that waited in the queue (the paper targets
+	// < 5%).
+	VMsCompleted   int
+	QueuedFraction float64
+
+	// MeanWaitSeconds is the average queue wait across all requests.
+	MeanWaitSeconds float64
+
+	// WaitP50/P95/P99 are queue-wait percentiles in seconds; the tail
+	// is what the spare controller's QoS bound actually protects.
+	WaitP50 float64
+	WaitP95 float64
+	WaitP99 float64
+
+	// Rejected counts requests no PM class could ever satisfy.
+	Rejected int
+}
+
+// WriteSummaries renders a comparison table of run summaries, sorted by
+// total energy ascending (winner first).
+func WriteSummaries(w io.Writer, sums []Summary) error {
+	ordered := append([]Summary(nil), sums...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].TotalEnergyKWh < ordered[j].TotalEnergyKWh
+	})
+	if _, err := fmt.Fprintf(w, "%-12s %12s %10s %10s %11s %8s %9s %10s\n",
+		"scheme", "energy(kWh)", "meanPMs", "peakPMs", "migrations", "boots", "queued%", "meanWait(s)"); err != nil {
+		return err
+	}
+	for _, s := range ordered {
+		if _, err := fmt.Fprintf(w, "%-12s %12.1f %10.1f %10.0f %11d %8d %8.2f%% %10.1f\n",
+			s.Scheme, s.TotalEnergyKWh, s.MeanActivePMs, s.PeakActivePMs,
+			s.Migrations, s.Boots, s.QueuedFraction*100, s.MeanWaitSeconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("x", 3600)
+	s.Append(1)
+	s.Append(2)
+	s.Append(6)
+	if s.Len() != 3 || s.Sum() != 9 || s.Mean() != 3 || s.Max() != 6 {
+		t.Errorf("series stats wrong: %+v", s)
+	}
+	if s.At(1) != 2 || s.At(-1) != 0 || s.At(99) != 0 {
+		t.Error("At out-of-range handling wrong")
+	}
+}
+
+func TestSeriesEmptyStats(t *testing.T) {
+	s := NewSeries("x", 1)
+	if s.Mean() != 0 || s.Max() != 0 || s.Sum() != 0 {
+		t.Error("empty series stats should be 0")
+	}
+}
+
+func TestNewSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSeries("x", 0)
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("hourly", 3600)
+	for i := 1; i <= 5; i++ {
+		s.Append(float64(i))
+	}
+	d := s.Downsample(2)
+	if d.Step != 7200 {
+		t.Errorf("step = %g", d.Step)
+	}
+	want := []float64{3, 7, 5}
+	if len(d.Values) != 3 {
+		t.Fatalf("values = %v", d.Values)
+	}
+	for i, v := range want {
+		if d.Values[i] != v {
+			t.Errorf("down[%d] = %g, want %g", i, d.Values[i], v)
+		}
+	}
+}
+
+func TestDownsamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSeries("x", 1).Downsample(0)
+}
+
+func TestTableCSV(t *testing.T) {
+	a := NewSeries("first-fit", 3600)
+	b := NewSeries("dynamic", 3600)
+	a.Append(10)
+	a.Append(12)
+	b.Append(7) // shorter series pads with 0
+	tab := Table{TimeLabel: "hour", Series: []*Series{a, b}}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "hour,first-fit,dynamic\n0,10,7\n1,12,0\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableCSVFloats(t *testing.T) {
+	a := NewSeries("e", 1)
+	a.Append(1.5)
+	var sb strings.Builder
+	if err := (&Table{TimeLabel: "t", Series: []*Series{a}}).WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.500") {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}
+
+func TestTableText(t *testing.T) {
+	a := NewSeries("dynamic", 3600)
+	a.Append(42)
+	var sb strings.Builder
+	if err := (&Table{TimeLabel: "hour", Series: []*Series{a}}).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dynamic") || !strings.Contains(out, "42") {
+		t.Errorf("text table = %q", out)
+	}
+}
+
+func TestEmptyTableErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Table{}).WriteCSV(&sb); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if err := (&Table{}).WriteText(&sb); err == nil {
+		t.Error("empty text accepted")
+	}
+}
+
+func TestWriteSummariesSortsByEnergy(t *testing.T) {
+	sums := []Summary{
+		{Scheme: "first-fit", TotalEnergyKWh: 300},
+		{Scheme: "dynamic", TotalEnergyKWh: 200, QueuedFraction: 0.03},
+		{Scheme: "best-fit", TotalEnergyKWh: 250},
+	}
+	var sb strings.Builder
+	if err := WriteSummaries(&sb, sums); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	di := strings.Index(out, "dynamic")
+	bi := strings.Index(out, "best-fit")
+	fi := strings.Index(out, "first-fit")
+	if !(di < bi && bi < fi) {
+		t.Errorf("summaries not energy-sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "3.00%") {
+		t.Errorf("queued%% missing:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := NewSeries("x", 1)
+	for _, v := range []float64{0, 2, 4, 8} {
+		s.Append(v)
+	}
+	spark := []rune(s.Sparkline())
+	if len(spark) != 4 {
+		t.Fatalf("sparkline runes = %d", len(spark))
+	}
+	// Monotone values map to non-decreasing block heights, ending at max.
+	for i := 1; i < len(spark); i++ {
+		if spark[i] < spark[i-1] {
+			t.Errorf("sparkline not monotone: %q", string(spark))
+		}
+	}
+	if spark[3] != '█' {
+		t.Errorf("max sample rune = %q, want full block", string(spark[3]))
+	}
+	if spark[0] != '▁' {
+		t.Errorf("zero sample rune = %q, want lowest block", string(spark[0]))
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if got := NewSeries("e", 1).Sparkline(); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	z := NewSeries("z", 1)
+	z.Append(0)
+	z.Append(0)
+	if got := z.Sparkline(); got != "▁▁" {
+		t.Errorf("all-zero sparkline = %q", got)
+	}
+	n := NewSeries("n", 1)
+	n.Append(-5)
+	n.Append(10)
+	if []rune(n.Sparkline())[0] != '▁' {
+		t.Error("negative sample should clamp to the lowest block")
+	}
+}

@@ -1,0 +1,37 @@
+package nhpp_test
+
+import (
+	"fmt"
+
+	"repro/internal/nhpp"
+)
+
+// Example learns a two-phase daily arrival pattern and predicts the next
+// morning's load, the computation behind the spare-server controller's
+// n_arrival estimate (Section IV of the paper).
+func Example() {
+	day := 86400.0
+	est := nhpp.New(day)
+	// Five observed days: 12 arrivals every morning (hours 8-10), 2 at
+	// night (hour 22).
+	for d := 0; d < 5; d++ {
+		base := float64(d) * day
+		for i := 0; i < 12; i++ {
+			est.Observe(base + 8*3600 + float64(i)*600)
+		}
+		est.Observe(base + 22*3600)
+		est.Observe(base + 22.5*3600)
+	}
+	now := 5 * day
+	est.Advance(now)
+
+	morning := est.CumulativeIntensity(now+8*3600, now+10*3600)
+	night := est.CumulativeIntensity(now+22*3600, now+23*3600)
+	fmt.Printf("expected morning arrivals: %.1f\n", morning)
+	fmt.Printf("expected night arrivals:   %.1f\n", night)
+	fmt.Printf("per-day mass:              %.1f\n", est.CycleMass())
+	// Output:
+	// expected morning arrivals: 11.8
+	// expected night arrivals:   1.9
+	// per-day mass:              14.2
+}

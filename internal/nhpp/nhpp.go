@@ -1,0 +1,200 @@
+// Package nhpp estimates the cumulative intensity function of a
+// non-homogeneous Poisson process from observed arrivals, following the
+// nonparametric estimator of Leemis ("Nonparametric Estimation of the
+// Cumulative Intensity Function for a Nonhomogeneous Poisson Process",
+// Management Science 37(7), 1991) — the method the paper cites for its
+// spare-server controller (Section IV, Eq. 6-7).
+//
+// The Leemis estimator assumes the process is cyclic with a known period S
+// (a day, for data-center workloads) and that k complete cycles have been
+// observed. All n arrival times are folded into one cycle [0, S) and
+// sorted: 0 = t(0) < t(1) <= ... <= t(n) < t(n+1) = S. The estimated
+// cumulative intensity at phase t in [t(i), t(i+1)) is the piecewise-linear
+// interpolant
+//
+//	Λ̂(t) = ( i + (t - t(i)) / (t(i+1) - t(i)) ) / k
+//
+// which rises by 1/k per observed arrival and reaches (n+1)/k at the cycle
+// end (the n+1 numerator is Leemis' bias correction for the unobserved
+// next arrival). Expected arrivals over an interval follow by
+// differencing, unwrapping intervals that cross cycle boundaries.
+package nhpp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Estimator accumulates arrival observations and answers cumulative-
+// intensity queries. It is not safe for concurrent use; the simulator is
+// single-threaded per run.
+type Estimator struct {
+	period float64
+
+	// arrivals holds raw absolute observation times, unsorted.
+	arrivals []float64
+
+	// latest is the largest observation time seen (observations may not
+	// regress in a DES, but we tolerate out-of-order bookkeeping).
+	latest float64
+
+	// folded caches the sorted folded phases of arrivals from complete
+	// cycles; rebuilt lazily when cycleCache no longer matches.
+	folded     []float64
+	cycleCache int
+}
+
+// New returns an estimator with the given cycle period in seconds
+// (86400 for the daily cycle of the paper's workload).
+func New(period float64) *Estimator {
+	if period <= 0 {
+		panic(fmt.Sprintf("nhpp: period must be positive, got %g", period))
+	}
+	return &Estimator{period: period}
+}
+
+// Period returns the configured cycle length.
+func (e *Estimator) Period() float64 { return e.period }
+
+// Observations returns the number of recorded arrivals.
+func (e *Estimator) Observations() int { return len(e.arrivals) }
+
+// Observe records an arrival at absolute time t >= 0.
+func (e *Estimator) Observe(t float64) {
+	if t < 0 {
+		panic(fmt.Sprintf("nhpp: negative observation time %g", t))
+	}
+	e.arrivals = append(e.arrivals, t)
+	if t > e.latest {
+		e.latest = t
+	}
+}
+
+// Advance tells the estimator that observation has continued (arrival-free)
+// up to time now. Cycles with no arrivals still count as observed cycles;
+// without Advance a quiet stretch would silently inflate the per-cycle
+// estimate. The simulator calls Advance at every control period.
+func (e *Estimator) Advance(now float64) {
+	if now > e.latest {
+		e.latest = now
+	}
+}
+
+// completeCycles returns k, the number of fully observed cycles.
+func (e *Estimator) completeCycles() int {
+	return int(e.latest / e.period)
+}
+
+// rebuild refreshes the folded phase cache for k complete cycles.
+func (e *Estimator) rebuild(k int) {
+	if k == e.cycleCache && e.folded != nil {
+		return
+	}
+	limit := float64(k) * e.period
+	e.folded = e.folded[:0]
+	for _, t := range e.arrivals {
+		if t < limit {
+			phase := t - float64(int(t/e.period))*e.period
+			e.folded = append(e.folded, phase)
+		}
+	}
+	sort.Float64s(e.folded)
+	e.cycleCache = k
+}
+
+// lambdaHatPhase evaluates the Leemis piecewise-linear estimate of the
+// within-cycle cumulative intensity at phase p in [0, period], given k
+// complete cycles. Requires the folded cache to be current.
+func (e *Estimator) lambdaHatPhase(p float64, k int) float64 {
+	n := len(e.folded)
+	if n == 0 || k == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= e.period {
+		return float64(n+1) / float64(k)
+	}
+	// i = number of folded arrivals with phase <= p.
+	i := sort.SearchFloat64s(e.folded, p)
+	// Stretch each segment [t(i), t(i+1)) to contribute one unit; the
+	// boundary knots are t(0)=0 and t(n+1)=period.
+	lo := 0.0
+	if i > 0 {
+		lo = e.folded[i-1]
+	}
+	hi := e.period
+	if i < n {
+		hi = e.folded[i]
+	}
+	frac := 0.0
+	if hi > lo {
+		frac = (p - lo) / (hi - lo)
+	}
+	return (float64(i) + frac) / float64(k)
+}
+
+// CycleMass returns Λ̂ over one full cycle: the expected number of
+// arrivals per period, (n+1)/k. It returns 0 before any complete cycle has
+// been observed.
+func (e *Estimator) CycleMass() float64 {
+	k := e.completeCycles()
+	if k == 0 {
+		return 0
+	}
+	e.rebuild(k)
+	if len(e.folded) == 0 {
+		return 0
+	}
+	return float64(len(e.folded)+1) / float64(k)
+}
+
+// CumulativeIntensity returns Λ̂(from, to): the expected number of
+// arrivals in the absolute interval [from, to), per Eq. 6 of the paper.
+// The estimate folds the interval onto the learned cycle; intervals longer
+// than a full period accumulate whole-cycle mass. Before the first
+// complete cycle the estimator falls back to the overall observed rate
+// (arrivals so far divided by elapsed time), which lets the controller
+// produce usable estimates during warm-up.
+func (e *Estimator) CumulativeIntensity(from, to float64) float64 {
+	if to < from {
+		panic(fmt.Sprintf("nhpp: interval [%g, %g) reversed", from, to))
+	}
+	if to == from {
+		return 0
+	}
+	k := e.completeCycles()
+	if k == 0 {
+		// Warm-up: homogeneous-rate fallback over the observed span.
+		if e.latest <= 0 || len(e.arrivals) == 0 {
+			return 0
+		}
+		rate := float64(len(e.arrivals)) / e.latest
+		return rate * (to - from)
+	}
+	e.rebuild(k)
+	if len(e.folded) == 0 {
+		return 0
+	}
+
+	mass := 0.0
+	length := to - from
+	if cycles := int(length / e.period); cycles > 0 {
+		mass += float64(cycles) * (float64(len(e.folded)+1) / float64(k))
+		length -= float64(cycles) * e.period
+	}
+	p0 := from - float64(int(from/e.period))*e.period
+	p1 := p0 + length
+	if p1 <= e.period {
+		mass += e.lambdaHatPhase(p1, k) - e.lambdaHatPhase(p0, k)
+	} else {
+		// The residual interval wraps the cycle boundary.
+		mass += e.lambdaHatPhase(e.period, k) - e.lambdaHatPhase(p0, k)
+		mass += e.lambdaHatPhase(p1-e.period, k)
+	}
+	if mass < 0 {
+		mass = 0
+	}
+	return mass
+}

@@ -1,0 +1,160 @@
+// Package plot renders time-series line charts as standalone SVG files,
+// using only the standard library. cmd/experiments uses it to emit
+// graphical versions of the paper's Figures 3-5 next to the CSV data.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// palette holds distinguishable line colors (solarized-ish, printable).
+var palette = []string{"#268bd2", "#dc322f", "#859900", "#b58900", "#6c71c4", "#2aa198"}
+
+// Chart is one line chart. Lines share the x axis (sample index scaled by
+// the series' Step) and the y axis.
+type Chart struct {
+	// Title is drawn across the top.
+	Title string
+
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+
+	// Series holds the lines to draw; all are rendered against the
+	// global y maximum.
+	Series []*metrics.Series
+
+	// Width and Height are the SVG pixel dimensions; zero selects
+	// 860x360.
+	Width, Height int
+}
+
+const (
+	marginLeft   = 62.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 44.0
+)
+
+// WriteSVG renders the chart. It fails on an empty chart: an axis needs at
+// least one sample to scale against.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 860
+	}
+	if height <= 0 {
+		height = 360
+	}
+	maxLen, maxY := 0, 0.0
+	for _, s := range c.Series {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+		if m := s.Max(); m > maxY {
+			maxY = m
+		}
+	}
+	if maxLen == 0 {
+		return fmt.Errorf("plot: chart %q has no samples", c.Title)
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	xAt := func(i int) float64 {
+		if maxLen == 1 {
+			return marginLeft
+		}
+		return marginLeft + plotW*float64(i)/float64(maxLen-1)
+	}
+	yAt := func(v float64) float64 {
+		return marginTop + plotH*(1-v/maxY)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		width/2-len(c.Title)*3, escape(c.Title))
+
+	// Gridlines and y ticks (5 divisions).
+	for t := 0; t <= 5; t++ {
+		v := maxY * float64(t) / 5
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			marginLeft, y, float64(width)-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+3, tick(v))
+	}
+	// X ticks (6 divisions).
+	for t := 0; t <= 6; t++ {
+		i := (maxLen - 1) * t / 6
+		x := xAt(i)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			x, marginTop, x, float64(height)-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%d</text>`+"\n",
+			x, float64(height)-marginBottom+14, i)
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Lines.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts strings.Builder
+		for i, v := range s.Values {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xAt(i), yAt(clampNonNeg(v)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+			color, pts.String())
+		// Legend entry.
+		lx := marginLeft + 10 + float64(si)*150
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, marginTop-8, lx+18, marginTop-8, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+22, marginTop-4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// tick formats an axis value compactly.
+func tick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%d", int(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

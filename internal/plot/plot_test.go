@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func chart(t *testing.T) *Chart {
+	t.Helper()
+	a := metrics.NewSeries("first-fit", 3600)
+	b := metrics.NewSeries("dynamic", 3600)
+	for i := 0; i < 24; i++ {
+		a.Append(float64(20 + i%7))
+		b.Append(float64(15 + i%5))
+	}
+	return &Chart{
+		Title: "Figure 3 <active & idle>", XLabel: "hour", YLabel: "active PMs",
+		Series: []*metrics.Series{a, b},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart(t).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid XML end to end.
+	dec := xml.NewDecoder(&buf)
+	polylines, texts := 0, 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("invalid XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "polyline":
+				polylines++
+			case "text":
+				texts++
+			}
+		}
+	}
+	if polylines != 2 {
+		t.Errorf("polylines = %d, want 2", polylines)
+	}
+	if texts < 10 {
+		t.Errorf("texts = %d, want axis labels + ticks + legend", texts)
+	}
+}
+
+func TestWriteSVGEscapesTitle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart(t).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<active") {
+		t.Error("unescaped angle bracket in output")
+	}
+	if !strings.Contains(out, "&lt;active &amp; idle&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGEmptyChartFails(t *testing.T) {
+	c := &Chart{Title: "x", Series: []*metrics.Series{metrics.NewSeries("e", 1)}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestWriteSVGSingleSample(t *testing.T) {
+	s := metrics.NewSeries("one", 1)
+	s.Append(5)
+	c := &Chart{Title: "single", Series: []*metrics.Series{s}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "polyline") {
+		t.Error("no polyline for single sample")
+	}
+}
+
+func TestWriteSVGDimensions(t *testing.T) {
+	c := chart(t)
+	c.Width, c.Height = 400, 200
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="400" height="200"`) {
+		t.Error("custom dimensions not applied")
+	}
+}
+
+func TestTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 5: "5", 1500: "1.5k", 2.5: "2.50"}
+	for v, want := range cases {
+		if got := tick(v); got != want {
+			t.Errorf("tick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestClampNonNeg(t *testing.T) {
+	if clampNonNeg(-1) != 0 || clampNonNeg(3) != 3 {
+		t.Error("clamp wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package policy defines the placement-scheme abstraction the simulator
+// drives and implements the schemes the paper evaluates: the two static
+// baselines (first-fit and best-fit, Section V), the proposed dynamic
+// probability-matrix scheme, and two extra baselines (worst-fit, random)
+// used for ablation studies.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// Placer decides where new VM requests go and whether/how to consolidate
+// running VMs. Implementations must be deterministic given their
+// construction parameters (Random takes a seed).
+type Placer interface {
+	// Name identifies the scheme in reports ("first-fit", "dynamic"...).
+	Name() string
+
+	// Place returns the PM to host a new VM request, or nil when no
+	// active PM can take it (the simulator then boots a machine and
+	// queues the request).
+	Place(ctx *core.Context, vm *cluster.VM) *cluster.PM
+
+	// Consolidate runs the scheme's migration pass (triggered by
+	// arrivals, departures, and PM failures per Section III.C) and
+	// returns the executed moves. Static schemes return nil.
+	Consolidate(ctx *core.Context) ([]core.Move, error)
+}
+
+// feasible reports whether pm can host demand right now.
+func feasible(pm *cluster.PM, demand vector.V) bool {
+	return pm.CanHost(demand)
+}
+
+// FirstFit places each request on the lowest-ID active PM with room — the
+// paper's first static baseline ("the new arrival VM request will be
+// placed to the first PM with available computation resources").
+type FirstFit struct{}
+
+// Name implements Placer.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Placer.
+func (FirstFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	for _, pm := range ctx.DC.ActivePMs() {
+		if feasible(pm, vm.Demand) {
+			return pm
+		}
+	}
+	return nil
+}
+
+// Consolidate implements Placer (static schemes never migrate).
+func (FirstFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// BestFit places each request on the feasible PM whose utilization after
+// placement would be highest — the paper's second static baseline ("the PM
+// that can achieve its maximum utilization"). Ties break to the lower PM
+// ID.
+type BestFit struct{}
+
+// Name implements Placer.
+func (BestFit) Name() string { return "best-fit" }
+
+// Place implements Placer.
+func (BestFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	var best *cluster.PM
+	bestU := -1.0
+	for _, pm := range ctx.DC.ActivePMs() {
+		if !feasible(pm, vm.Demand) {
+			continue
+		}
+		u := vector.Utilization(pm.Used.Add(vm.Demand), pm.Class.Capacity)
+		if u > bestU {
+			bestU, best = u, pm
+		}
+	}
+	return best
+}
+
+// Consolidate implements Placer.
+func (BestFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// WorstFit places each request on the feasible PM with the most headroom
+// (lowest prospective utilization) — a load-spreading anti-consolidation
+// baseline for ablations.
+type WorstFit struct{}
+
+// Name implements Placer.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// Place implements Placer.
+func (WorstFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	var worst *cluster.PM
+	worstU := math.Inf(1)
+	for _, pm := range ctx.DC.ActivePMs() {
+		if !feasible(pm, vm.Demand) {
+			continue
+		}
+		u := vector.Utilization(pm.Used.Add(vm.Demand), pm.Class.Capacity)
+		if u < worstU {
+			worstU, worst = u, pm
+		}
+	}
+	return worst
+}
+
+// Consolidate implements Placer.
+func (WorstFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// Random places each request on a uniformly random feasible PM. Seeded, so
+// runs remain reproducible.
+type Random struct {
+	rng stats.Rand
+}
+
+// NewRandom returns a Random placer with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: stats.NewRand(seed)}
+}
+
+// Name implements Placer.
+func (*Random) Name() string { return "random" }
+
+// Place implements Placer.
+func (r *Random) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	var candidates []*cluster.PM
+	for _, pm := range ctx.DC.ActivePMs() {
+		if feasible(pm, vm.Demand) {
+			candidates = append(candidates, pm)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[r.rng.Intn(len(candidates))]
+}
+
+// Consolidate implements Placer.
+func (*Random) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// Dynamic is the paper's statistical dynamic placement scheme: arrivals go
+// to the highest-joint-probability PM (the new-request column of the
+// matrix), and every placement-changing event triggers Algorithm 1.
+type Dynamic struct {
+	// Factors are the probability factors composing p_ij; nil selects
+	// core.DefaultFactors (res, vir, rel, eff).
+	Factors []core.Factor
+
+	// Params are the MIG_threshold / MIG_round knobs.
+	Params core.Params
+
+	// label overrides Name for ablation variants.
+	label string
+}
+
+// NewDynamic returns the scheme with the paper's default factors and
+// parameters.
+func NewDynamic() *Dynamic {
+	return &Dynamic{Factors: core.DefaultFactors(), Params: core.DefaultParams()}
+}
+
+// NewDynamicVariant builds an ablation variant with a custom label,
+// factor set, and parameters.
+func NewDynamicVariant(label string, factors []core.Factor, params core.Params) *Dynamic {
+	return &Dynamic{Factors: factors, Params: params, label: label}
+}
+
+// Name implements Placer.
+func (d *Dynamic) Name() string {
+	if d.label != "" {
+		return d.label
+	}
+	return "dynamic"
+}
+
+func (d *Dynamic) factors() []core.Factor {
+	if len(d.Factors) > 0 {
+		return d.Factors
+	}
+	return core.DefaultFactors()
+}
+
+// Place implements Placer. When every joint probability is zero — which
+// happens for ultra-short requests whose estimated runtime is below even
+// the creation overhead, zeroing p_vir everywhere — the request still has
+// to run somewhere, so Place falls back to best-fit among resource-feasible
+// PMs. (The paper's arrival rule, "allocate it to the PM with the highest
+// probability", leaves the all-zero column undefined.)
+func (d *Dynamic) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	if pm := core.BestPlacement(ctx, d.factors(), vm); pm != nil {
+		return pm
+	}
+	return BestFit{}.Place(ctx, vm)
+}
+
+// Consolidate implements Placer.
+func (d *Dynamic) Consolidate(ctx *core.Context) ([]core.Move, error) {
+	return core.Consolidate(ctx, d.factors(), d.Params)
+}
+
+// ByName constructs a scheme from its report name; seed feeds the Random
+// scheme. Unknown names return an error listing the options.
+func ByName(name string, seed int64) (Placer, error) {
+	switch name {
+	case "first-fit":
+		return FirstFit{}, nil
+	case "best-fit":
+		return BestFit{}, nil
+	case "worst-fit":
+		return WorstFit{}, nil
+	case "random":
+		return NewRandom(seed), nil
+	case "dynamic":
+		return NewDynamic(), nil
+	case "threshold":
+		return NewThreshold(), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown scheme %q (want first-fit, best-fit, worst-fit, random, threshold, or dynamic)", name)
+	}
+}

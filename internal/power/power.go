@@ -1,0 +1,157 @@
+// Package power models electrical power draw and energy accounting for the
+// simulated data center.
+//
+// Table II of the paper gives each PM class an active and an idle power
+// draw. We use the standard linear interpolation model between the two:
+//
+//	P(u) = P_idle + (P_active - P_idle) * u
+//
+// where u is the PM's joint resource utilization, plus full active draw
+// during boot/shutdown transitions (the ON/OFF overhead window) and zero
+// draw while off. Energy is integrated piecewise-constantly: the meter is
+// advanced to the current simulation time before any state change, so each
+// interval is charged at the power level that actually held during it.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// Draw returns the instantaneous power draw of PM p in watts under the
+// linear model.
+func Draw(p *cluster.PM) float64 {
+	switch p.State {
+	case cluster.PMOff, cluster.PMFailed:
+		return 0
+	case cluster.PMBooting, cluster.PMShuttingDown:
+		// Power transitions draw full active power for the whole
+		// ON/OFF overhead window; this charges the energy cost of
+		// cycling a machine and is what makes needless power cycling
+		// unattractive to the placement scheme.
+		return p.Class.ActivePower
+	default:
+		u := p.Utilization()
+		return p.Class.IdlePower + (p.Class.ActivePower-p.Class.IdlePower)*u
+	}
+}
+
+// Meter integrates per-PM energy over simulated time and bins it into
+// fixed-width intervals (hours in the paper's figures). All energies are in
+// joules (watt-seconds); callers convert to kWh for reporting.
+type Meter struct {
+	dc       *cluster.Datacenter
+	binWidth float64
+
+	lastTime float64
+
+	// bins[b] is the total energy consumed during bin b across all PMs.
+	bins []float64
+	// perPM[i] is the total energy of PM i over the whole run.
+	perPM []float64
+	total float64
+}
+
+// NewMeter creates a meter over dc with the given bin width in seconds.
+// A binWidth of 3600 reproduces the paper's hourly accounting.
+func NewMeter(dc *cluster.Datacenter, binWidth float64) *Meter {
+	if binWidth <= 0 {
+		panic(fmt.Sprintf("power: bin width must be positive, got %g", binWidth))
+	}
+	return &Meter{
+		dc:       dc,
+		binWidth: binWidth,
+		perPM:    make([]float64, dc.Size()),
+	}
+}
+
+// Advance integrates energy from the last observation up to now, charging
+// the elapsed interval at each PM's *current* power level. Because the
+// simulator always calls Advance(now) *before* mutating any PM state or
+// placement at time now, the current levels are exactly the levels that
+// held throughout the interval. Advancing backwards is a programming error.
+func (m *Meter) Advance(now float64) {
+	if now < m.lastTime-1e-9 {
+		panic(fmt.Sprintf("power: meter advanced backwards (%g -> %g)", m.lastTime, now))
+	}
+	if now <= m.lastTime {
+		return
+	}
+	dt := now - m.lastTime
+	for i, p := range m.dc.PMs() {
+		e := Draw(p) * dt
+		if e != 0 {
+			m.perPM[i] += e
+			m.total += e
+			m.spread(m.lastTime, now, e)
+		}
+	}
+	m.lastTime = now
+}
+
+// spread distributes energy e consumed uniformly over [t0, t1) across the
+// hour bins it overlaps.
+func (m *Meter) spread(t0, t1, e float64) {
+	if t1 <= t0 {
+		return
+	}
+	rate := e / (t1 - t0)
+	for t := t0; t < t1; {
+		bin := int(t / m.binWidth)
+		binEnd := float64(bin+1) * m.binWidth
+		end := math.Min(binEnd, t1)
+		m.ensureBin(bin)
+		m.bins[bin] += rate * (end - t)
+		t = end
+	}
+}
+
+func (m *Meter) ensureBin(b int) {
+	for len(m.bins) <= b {
+		m.bins = append(m.bins, 0)
+	}
+}
+
+// TotalEnergy returns total energy consumed so far, in joules.
+func (m *Meter) TotalEnergy() float64 { return m.total }
+
+// PMEnergy returns the total energy of PM id in joules.
+func (m *Meter) PMEnergy(id cluster.PMID) float64 {
+	if id < 0 || int(id) >= len(m.perPM) {
+		return 0
+	}
+	return m.perPM[id]
+}
+
+// Bins returns a copy of the per-bin energy series in joules. The last bin
+// may be partially filled.
+func (m *Meter) Bins() []float64 {
+	return append([]float64(nil), m.bins...)
+}
+
+// BinWidth returns the bin width in seconds.
+func (m *Meter) BinWidth() float64 { return m.binWidth }
+
+// KWh converts joules to kilowatt-hours.
+func KWh(joules float64) float64 { return joules / 3.6e6 }
+
+// Joules converts kilowatt-hours to joules.
+func Joules(kwh float64) float64 { return kwh * 3.6e6 }
+
+// Rebin aggregates a fine-grained energy series into coarser bins of factor
+// n (e.g. 24 hourly bins -> daily). A trailing partial group is kept.
+func Rebin(series []float64, n int) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("power: rebin factor must be positive, got %d", n))
+	}
+	var out []float64
+	for i, x := range series {
+		if i%n == 0 {
+			out = append(out, 0)
+		}
+		out[len(out)-1] += x
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/vector"
+)
+
+func smallDC(t *testing.T) *cluster.Datacenter {
+	if t != nil {
+		t.Helper()
+	}
+	fast := cluster.FastClass
+	slow := cluster.SlowClass
+	return cluster.MustNew(cluster.Config{
+		RMin: cluster.TableIIRMin.Clone(),
+		Groups: []cluster.Group{
+			{Class: &fast, Count: 2},
+			{Class: &slow, Count: 2},
+		},
+	})
+}
+
+func TestDrawStates(t *testing.T) {
+	d := smallDC(t)
+	p := d.PM(0) // fast: active 400, idle 240
+
+	p.State = cluster.PMOff
+	if got := Draw(p); got != 0 {
+		t.Errorf("off draw = %g", got)
+	}
+	p.State = cluster.PMFailed
+	if got := Draw(p); got != 0 {
+		t.Errorf("failed draw = %g", got)
+	}
+	p.State = cluster.PMBooting
+	if got := Draw(p); got != 400 {
+		t.Errorf("booting draw = %g, want 400", got)
+	}
+	p.State = cluster.PMShuttingDown
+	if got := Draw(p); got != 400 {
+		t.Errorf("shutdown draw = %g, want 400", got)
+	}
+	p.State = cluster.PMOn
+	if got := Draw(p); got != 240 {
+		t.Errorf("idle-on draw = %g, want 240", got)
+	}
+}
+
+func TestDrawLinearInUtilization(t *testing.T) {
+	d := smallDC(t)
+	p := d.PM(0)
+	p.State = cluster.PMOn
+	// Host a VM using half of each resource: u = 0.5*0.5 = 0.25.
+	vm := cluster.NewVM(1, vector.New(4, 4), 100, 100, 0)
+	if err := p.Host(vm); err != nil {
+		t.Fatal(err)
+	}
+	want := 240 + (400-240)*0.25
+	if got := Draw(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("draw = %g, want %g", got, want)
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 3600)
+	p := d.PM(0)
+
+	// Turn on at t=0; the interval [0, 3600) is charged at the on level.
+	p.State = cluster.PMOn
+	m.Advance(3600) // one idle hour at 240 W
+	want := 240.0 * 3600
+	if got := m.TotalEnergy(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy after 1h idle = %g, want %g", got, want)
+	}
+	if got := m.PMEnergy(0); math.Abs(got-want) > 1e-6 {
+		t.Errorf("PM energy = %g, want %g", got, want)
+	}
+	if got := m.PMEnergy(1); got != 0 {
+		t.Errorf("off PM accrued energy %g", got)
+	}
+}
+
+func TestMeterChargesOldLevel(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 3600)
+	p := d.PM(0)
+	p.State = cluster.PMOn
+	m.Advance(0)
+
+	// At t=1800 the PM goes off; the first half hour must be charged at
+	// 240 W, the second at 0.
+	m.Advance(1800)
+	p.State = cluster.PMOff
+	m.Advance(3600)
+
+	want := 240.0 * 1800
+	if got := m.TotalEnergy(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy = %g, want %g", got, want)
+	}
+}
+
+func TestMeterBinning(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 3600)
+	p := d.PM(0)
+	p.State = cluster.PMOn
+	m.Advance(0)
+
+	// 2.5 hours at 240 W: bins [864000, 864000, 432000].
+	m.Advance(2.5 * 3600)
+	bins := m.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	for i, want := range []float64{864000, 864000, 432000} {
+		if math.Abs(bins[i]-want) > 1e-6 {
+			t.Errorf("bin %d = %g, want %g", i, bins[i], want)
+		}
+	}
+	// Bin energy sums to total.
+	var sum float64
+	for _, b := range bins {
+		sum += b
+	}
+	if math.Abs(sum-m.TotalEnergy()) > 1e-6 {
+		t.Errorf("bin sum %g != total %g", sum, m.TotalEnergy())
+	}
+}
+
+func TestMeterSpanningManyBins(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 10)
+	p := d.PM(0)
+	p.State = cluster.PMOn
+	m.Advance(0)
+	m.Advance(100) // 10 bins of 10 s at 240 W
+	bins := m.Bins()
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d, want 10", len(bins))
+	}
+	for i, b := range bins {
+		if math.Abs(b-2400) > 1e-9 {
+			t.Errorf("bin %d = %g, want 2400", i, b)
+		}
+	}
+}
+
+func TestMeterBackwardsPanics(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 3600)
+	m.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on backwards advance")
+		}
+	}()
+	m.Advance(50)
+}
+
+func TestNewMeterPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMeter(smallDC(t), 0)
+}
+
+func TestPMEnergyOutOfRange(t *testing.T) {
+	m := NewMeter(smallDC(t), 3600)
+	if m.PMEnergy(-1) != 0 || m.PMEnergy(100) != 0 {
+		t.Error("out-of-range PMEnergy should be 0")
+	}
+}
+
+func TestAdvanceSameInstantNoCharge(t *testing.T) {
+	d := smallDC(t)
+	m := NewMeter(d, 3600)
+	d.PM(0).State = cluster.PMOn
+	m.Advance(10)
+	m.Advance(10)
+	if got := m.TotalEnergy(); math.Abs(got-2400) > 1e-9 {
+		t.Errorf("energy = %g, want 2400 (no double charge)", got)
+	}
+}
+
+func TestKWhConversions(t *testing.T) {
+	if got := KWh(3.6e6); got != 1 {
+		t.Errorf("KWh(3.6e6) = %g", got)
+	}
+	if got := Joules(2); got != 7.2e6 {
+		t.Errorf("Joules(2) = %g", got)
+	}
+	if got := KWh(Joules(5.5)); math.Abs(got-5.5) > 1e-12 {
+		t.Error("KWh/Joules not inverse")
+	}
+}
+
+func TestRebin(t *testing.T) {
+	hourly := []float64{1, 2, 3, 4, 5}
+	daily := Rebin(hourly, 2)
+	want := []float64{3, 7, 5}
+	if len(daily) != len(want) {
+		t.Fatalf("Rebin len = %d", len(daily))
+	}
+	for i := range want {
+		if daily[i] != want[i] {
+			t.Errorf("Rebin[%d] = %g, want %g", i, daily[i], want[i])
+		}
+	}
+	if got := Rebin(nil, 24); len(got) != 0 {
+		t.Error("Rebin(nil) should be empty")
+	}
+}
+
+func TestRebinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Rebin([]float64{1}, 0)
+}
+
+// Property: rebinning conserves total energy.
+func TestQuickRebinConserves(t *testing.T) {
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		series := make([]float64, len(raw))
+		var total float64
+		for i, x := range raw {
+			series[i] = float64(x)
+			total += series[i]
+		}
+		var sum float64
+		for _, b := range Rebin(series, n) {
+			sum += b
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: meter total equals the sum of per-PM energies and bins.
+func TestQuickMeterConservation(t *testing.T) {
+	f := func(steps []uint8) bool {
+		d := smallDC(nil)
+		m := NewMeter(d, 500)
+		now := 0.0
+		for i, s := range steps {
+			now += float64(s%100) + 1
+			m.Advance(now)
+			// Toggle a PM state each step.
+			p := d.PM(cluster.PMID(i % d.Size()))
+			if p.State == cluster.PMOff {
+				p.State = cluster.PMOn
+			} else {
+				p.State = cluster.PMOff
+			}
+		}
+		m.Advance(now + 10)
+		var perPM, binSum float64
+		for i := 0; i < d.Size(); i++ {
+			perPM += m.PMEnergy(cluster.PMID(i))
+		}
+		for _, b := range m.Bins() {
+			binSum += b
+		}
+		tot := m.TotalEnergy()
+		return math.Abs(perPM-tot) < 1e-6*(1+tot) && math.Abs(binSum-tot) < 1e-6*(1+tot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMeterAdvance(b *testing.B) {
+	d := cluster.TableIIFleet()
+	for _, p := range d.PMs() {
+		p.State = cluster.PMOn
+	}
+	m := NewMeter(d, 3600)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Advance(float64(i))
+	}
+}

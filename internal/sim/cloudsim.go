@@ -1,0 +1,803 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/spare"
+	"repro/internal/stats"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run: a data center, a placement scheme,
+// a workload, and the control knobs of Sections III-IV.
+type Config struct {
+	// DC is the data center; all PMs should start powered off (the
+	// simulator boots on demand). Required.
+	DC *cluster.Datacenter
+
+	// Placer is the placement scheme under test. Required.
+	Placer policy.Placer
+
+	// Requests is the workload, sorted by submit time. Required.
+	Requests []workload.Request
+
+	// ControlPeriod is T, the spare-server control period in seconds
+	// (default 3600).
+	ControlPeriod float64
+
+	// Spare enables the spare-server controller (Section IV). Nil runs
+	// without spares — the configuration the static baselines use.
+	Spare *spare.Config
+
+	// Failures configures PM failure injection; the zero value disables
+	// it.
+	Failures failure.Config
+
+	// MeterBin is the energy-accounting bin width (default 3600 s,
+	// matching the paper's hourly figures).
+	MeterBin float64
+
+	// TimedMigrations switches live migrations from the paper's
+	// instantaneous model (the T_mig overhead enters only through the
+	// p_vir probability penalty) to a pre-copy model: the moved VM is
+	// in the Migrating state for the target's T_mig, its resources stay
+	// committed on the source until cutover (double occupancy), and it
+	// cannot be migrated again until the transfer completes.
+	TimedMigrations bool
+
+	// WarmStart powers on this many PMs (in boot-preference order) at
+	// time zero, skipping the cold-start transient. Zero preserves the
+	// paper's cold start.
+	WarmStart int
+
+	// EventLog, when non-nil, receives a one-line record of every
+	// simulation event (arrivals, placements, migrations, boots,
+	// failures) — the debugging trace for simulator development.
+	EventLog io.Writer
+
+	// CheckInvariants validates the full datacenter state after every
+	// event; slow, meant for tests.
+	CheckInvariants bool
+}
+
+func (c *Config) setDefaults() error {
+	if c.DC == nil {
+		return fmt.Errorf("sim: config needs a datacenter")
+	}
+	if c.Placer == nil {
+		return fmt.Errorf("sim: config needs a placer")
+	}
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 3600
+	}
+	if c.ControlPeriod < 0 {
+		return fmt.Errorf("sim: negative control period")
+	}
+	if c.MeterBin == 0 {
+		c.MeterBin = 3600
+	}
+	if c.MeterBin < 0 {
+		return fmt.Errorf("sim: negative meter bin")
+	}
+	if c.WarmStart < 0 || c.WarmStart > c.DC.Size() {
+		return fmt.Errorf("sim: warm start %d outside fleet size %d", c.WarmStart, c.DC.Size())
+	}
+	if err := c.Failures.Validate(); err != nil {
+		return err
+	}
+	if c.Spare != nil {
+		if err := c.Spare.Validate(); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < len(c.Requests); i++ {
+		if c.Requests[i].Submit < c.Requests[i-1].Submit {
+			return fmt.Errorf("sim: requests not sorted by submit time (index %d)", i)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Scheme is the placer's name.
+	Scheme string
+
+	// ActivePMs samples the number of on/booting PMs at each control
+	// period boundary (Figure 3's hourly series).
+	ActivePMs *metrics.Series
+
+	// MeanUtilization samples the mean joint utilization of non-idle
+	// PMs at each control period boundary; consolidation quality is
+	// visible here directly (higher is tighter packing).
+	MeanUtilization *metrics.Series
+
+	// EnergyKWh holds per-bin energy in kWh (Figure 4's hourly power
+	// series; kWh per hour is numerically the mean kW).
+	EnergyKWh *metrics.Series
+
+	// Summary aggregates the run.
+	Summary metrics.Summary
+
+	// Moves lists every migration executed (order of execution).
+	Moves []core.Move
+
+	// Failures is the number of PM failures injected.
+	Failures int
+
+	// SparePlans records the spare-controller decisions per period
+	// (empty without a controller).
+	SparePlans []spare.Plan
+
+	// EnergyByClassKWh splits total energy by PM class name, for the
+	// heterogeneous-fleet analyses.
+	EnergyByClassKWh map[string]float64
+
+	// PMEnergyKWh is each PM's total energy over the run, for
+	// per-region billing and placement analyses.
+	PMEnergyKWh map[cluster.PMID]float64
+}
+
+// Run executes the simulation to completion (all requests finished) and
+// returns the collected metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &simulator{cfg: &cfg, dc: cfg.DC}
+	return s.run()
+}
+
+// simulator holds one run's mutable state.
+type simulator struct {
+	cfg *Config
+	eng Engine
+	dc  *cluster.Datacenter
+
+	meter *power.Meter
+	ctrl  *spare.Controller
+	inj   *failure.Injector
+
+	// queue holds requests waiting for capacity, FIFO.
+	queue []*cluster.VM
+
+	// reqOf maps VM IDs back to their originating requests.
+	reqOf map[cluster.VMID]workload.Request
+
+	// bootReadyAt records when a booting PM becomes usable, so VMs
+	// placed onto booting machines start creation after boot completes.
+	bootReadyAt map[cluster.PMID]float64
+
+	// failEvent tracks the pending failure event per powered-on PM.
+	failEvent map[cluster.PMID]*Event
+
+	// lifeEvent tracks each placed VM's next lifecycle event (creation
+	// completion or departure) so a PM failure can cancel it before
+	// re-queueing the VM.
+	lifeEvent map[cluster.VMID]*Event
+
+	// holds tracks in-flight timed migrations' source-side reservations.
+	holds map[cluster.VMID]*migrationHold
+
+	spareTarget int
+
+	res         *Result
+	waits       []float64
+	queuedCount int
+	boots       int
+	horizon     float64
+}
+
+func (s *simulator) ctx() *core.Context {
+	return &core.Context{DC: s.dc, Now: s.eng.Now()}
+}
+
+// logf appends one record to the event log when tracing is enabled.
+func (s *simulator) logf(format string, args ...any) {
+	if s.cfg.EventLog == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.EventLog, "%10.1f  ", s.eng.Now())
+	fmt.Fprintf(s.cfg.EventLog, format, args...)
+	fmt.Fprintln(s.cfg.EventLog)
+}
+
+func (s *simulator) run() (*Result, error) {
+	s.meter = power.NewMeter(s.dc, s.cfg.MeterBin)
+	s.reqOf = make(map[cluster.VMID]workload.Request, len(s.cfg.Requests))
+	s.bootReadyAt = make(map[cluster.PMID]float64)
+	s.failEvent = make(map[cluster.PMID]*Event)
+	s.lifeEvent = make(map[cluster.VMID]*Event)
+	s.holds = make(map[cluster.VMID]*migrationHold)
+	s.res = &Result{
+		Scheme:          s.cfg.Placer.Name(),
+		ActivePMs:       metrics.NewSeries(s.cfg.Placer.Name(), s.cfg.ControlPeriod),
+		MeanUtilization: metrics.NewSeries(s.cfg.Placer.Name(), s.cfg.ControlPeriod),
+	}
+	if s.cfg.Spare != nil {
+		s.ctrl = spare.NewController(*s.cfg.Spare)
+	}
+	if s.cfg.Failures.Enabled() {
+		s.inj = failure.NewInjector(s.cfg.Failures)
+	}
+
+	for i, pm := range s.bootCandidates() {
+		if i >= s.cfg.WarmStart {
+			break
+		}
+		pm.State = cluster.PMOn
+		s.armFailure(pm)
+	}
+	// The warm pool doubles as the initial spare target so the t=0
+	// power-management pass does not immediately shut it down; a spare
+	// plan (or, without a controller, the first later tick) supersedes
+	// it.
+	s.spareTarget = s.cfg.WarmStart
+
+	// The control tick is scheduled before the workload so the t=0
+	// sample observes the cold-start state before any same-instant
+	// arrival (FIFO tie-breaking).
+	if len(s.cfg.Requests) > 0 {
+		s.scheduleControlTick(0)
+	}
+	// Schedule the workload.
+	for i, req := range s.cfg.Requests {
+		id := cluster.VMID(i + 1)
+		s.reqOf[id] = req
+		req := req
+		s.eng.Schedule(req.Submit, func() { s.onArrival(id, req) })
+		if end := req.Submit + req.RunTime; end > s.horizon {
+			s.horizon = end
+		}
+	}
+	var simErr error
+	for s.eng.Step() {
+		if s.cfg.CheckInvariants {
+			if err := s.dc.CheckInvariants(); err != nil {
+				simErr = fmt.Errorf("sim: invariant violation at t=%g: %w", s.eng.Now(), err)
+				break
+			}
+		}
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	if len(s.queue) > 0 {
+		return nil, fmt.Errorf("sim: %d requests still queued at drain (no capacity ever became available)", len(s.queue))
+	}
+	s.meter.Advance(s.eng.Now())
+	s.finalizeResult()
+	return s.res, nil
+}
+
+func (s *simulator) scheduleControlTick(at float64) {
+	s.eng.Schedule(at, s.onControlTick)
+}
+
+// --- event handlers ---
+
+func (s *simulator) onArrival(id cluster.VMID, req workload.Request) {
+	now := s.eng.Now()
+	s.meter.Advance(now)
+	if s.ctrl != nil {
+		s.ctrl.RecordArrival(now)
+	}
+	vm := cluster.NewVM(id, vector.New(req.CPUCores, req.MemoryGB), req.EstimatedRunTime, req.RunTime, now)
+	s.logf("arrive   VM%-5d demand=%v est=%gs", vm.ID, vm.Demand, vm.EstimatedRuntime)
+	if !s.tryPlace(vm) {
+		s.logf("queue    VM%-5d (no feasible active PM)", vm.ID)
+		s.enqueue(vm)
+	}
+	s.consolidate()
+}
+
+// tryPlace asks the placer for a host and, when found, starts VM creation.
+func (s *simulator) tryPlace(vm *cluster.VM) bool {
+	pm := s.cfg.Placer.Place(s.ctx(), vm)
+	if pm == nil {
+		return false
+	}
+	if err := pm.Host(vm); err != nil {
+		// The placer returned an infeasible PM — a scheme bug worth
+		// surfacing loudly rather than mis-accounting.
+		panic(fmt.Sprintf("sim: placer %s chose infeasible PM: %v", s.cfg.Placer.Name(), err))
+	}
+	vm.State = cluster.VMCreating
+	now := s.eng.Now()
+	start := now
+	if ready, booting := s.bootReadyAt[pm.ID]; booting && ready > now {
+		start = ready
+	}
+	s.recordWait(vm, start)
+	s.logf("place    VM%-5d -> PM%d (%s)", vm.ID, pm.ID, pm.Class.Name)
+	done := start + pm.Class.CreationTime
+	s.lifeEvent[vm.ID] = s.eng.Schedule(done, func() { s.onCreationDone(vm) })
+	return true
+}
+
+func (s *simulator) recordWait(vm *cluster.VM, placedAt float64) {
+	w := placedAt - vm.SubmitTime
+	if w < 0 {
+		w = 0
+	}
+	s.waits = append(s.waits, w)
+	if w > 1 { // anything beyond a second of queueing counts against QoS
+		s.queuedCount++
+	}
+}
+
+func (s *simulator) enqueue(vm *cluster.VM) {
+	// A request no PM class could ever satisfy would wait forever; count
+	// it as rejected instead of deadlocking the run.
+	feasibleSomewhere := false
+	for _, pm := range s.dc.PMs() {
+		if vm.Demand.LE(pm.Class.Capacity) {
+			feasibleSomewhere = true
+			break
+		}
+	}
+	if !feasibleSomewhere {
+		s.res.Summary.Rejected++
+		return
+	}
+	s.queue = append(s.queue, vm)
+	s.ensureBoots()
+}
+
+// ensureBoots powers on enough machines to absorb the queue: the queue
+// length divided by the average VMs a PM carries, minus boots already in
+// flight.
+func (s *simulator) ensureBoots() {
+	if len(s.queue) == 0 {
+		return
+	}
+	nAve := s.dc.AverageVMsPerPM(1)
+	needed := int(math.Ceil(float64(len(s.queue)) / math.Max(nAve, 1)))
+	booting := 0
+	for _, pm := range s.dc.PMs() {
+		if pm.State == cluster.PMBooting {
+			booting++
+		}
+	}
+	for _, pm := range s.bootCandidates() {
+		if booting >= needed {
+			break
+		}
+		s.bootPM(pm)
+		booting++
+	}
+}
+
+// bootCandidates returns off PMs in preference order: most power-efficient
+// class first (lowest active power per minimal-VM slot), then by ID.
+func (s *simulator) bootCandidates() []*cluster.PM {
+	off := s.dc.OffPMs()
+	rmin := s.dc.RMinShared()
+	perVM := func(p *cluster.PM) float64 {
+		w := p.Class.MaxMinimalVMs(rmin)
+		if w == 0 {
+			return math.Inf(1)
+		}
+		return p.Class.ActivePower / float64(w)
+	}
+	sort.SliceStable(off, func(i, j int) bool {
+		pi, pj := perVM(off[i]), perVM(off[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return off[i].ID < off[j].ID
+	})
+	return off
+}
+
+func (s *simulator) bootPM(pm *cluster.PM) {
+	if pm.State != cluster.PMOff {
+		return
+	}
+	s.meter.Advance(s.eng.Now())
+	pm.State = cluster.PMBooting
+	ready := s.eng.Now() + pm.Class.OnOffOverhead
+	s.bootReadyAt[pm.ID] = ready
+	s.boots++
+	s.logf("boot     PM%-5d (%s, ready at %.1f)", pm.ID, pm.Class.Name, ready)
+	s.eng.Schedule(ready, func() { s.onBootDone(pm) })
+}
+
+func (s *simulator) onBootDone(pm *cluster.PM) {
+	s.meter.Advance(s.eng.Now())
+	if pm.State != cluster.PMBooting {
+		return // failed mid-boot
+	}
+	pm.State = cluster.PMOn
+	delete(s.bootReadyAt, pm.ID)
+	s.armFailure(pm)
+	s.drainQueue()
+}
+
+func (s *simulator) shutdownPM(pm *cluster.PM) {
+	if pm.State != cluster.PMOn || pm.VMCount() > 0 {
+		return
+	}
+	s.meter.Advance(s.eng.Now())
+	s.logf("shutdown PM%-5d (%s)", pm.ID, pm.Class.Name)
+	pm.State = cluster.PMShuttingDown
+	s.disarmFailure(pm)
+	s.eng.ScheduleAfter(pm.Class.OnOffOverhead, func() { s.onShutdownDone(pm) })
+}
+
+func (s *simulator) onShutdownDone(pm *cluster.PM) {
+	s.meter.Advance(s.eng.Now())
+	if pm.State == cluster.PMShuttingDown {
+		pm.State = cluster.PMOff
+	}
+}
+
+func (s *simulator) onCreationDone(vm *cluster.VM) {
+	if vm.State != cluster.VMCreating {
+		return // re-queued by a failure during creation
+	}
+	now := s.eng.Now()
+	s.meter.Advance(now)
+	vm.State = cluster.VMRunning
+	vm.StartTime = now
+	s.lifeEvent[vm.ID] = s.eng.Schedule(now+vm.ActualRuntime, func() { s.onDeparture(vm) })
+}
+
+func (s *simulator) onDeparture(vm *cluster.VM) {
+	if vm.State != cluster.VMRunning && vm.State != cluster.VMMigrating {
+		return // failure re-queued it; a fresh departure will be scheduled
+	}
+	now := s.eng.Now()
+	s.meter.Advance(now)
+	host := s.dc.PM(vm.Host)
+	if host == nil {
+		panic(fmt.Sprintf("sim: departing VM %d has no host", vm.ID))
+	}
+	if hold, ok := s.holds[vm.ID]; ok {
+		s.releaseHold(vm.ID, hold)
+	}
+	if err := host.Evict(vm); err != nil {
+		panic(fmt.Sprintf("sim: departure eviction failed: %v", err))
+	}
+	vm.State = cluster.VMFinished
+	vm.FinishTime = now
+	delete(s.lifeEvent, vm.ID)
+	s.res.Summary.VMsCompleted++
+	if s.ctrl != nil {
+		s.ctrl.RecordCompletion(vm.ActualRuntime)
+	}
+	s.logf("depart   VM%-5d from PM%d (%d migrations)", vm.ID, host.ID, vm.Migrations)
+
+	s.drainQueue()
+	s.consolidate()
+}
+
+func (s *simulator) onControlTick() {
+	now := s.eng.Now()
+	s.meter.Advance(now)
+	s.res.ActivePMs.Append(float64(s.dc.ActiveCount()))
+	s.res.MeanUtilization.Append(s.meanNonIdleUtilization())
+
+	if s.ctrl != nil {
+		plan := s.ctrl.PlanSpares(now, s.dc)
+		s.res.SparePlans = append(s.res.SparePlans, plan)
+		s.spareTarget = plan.Spares
+	} else if now > 0 {
+		s.spareTarget = 0
+	}
+	s.drainQueue()
+	s.powerManage()
+
+	// Keep ticking while there is anything left to simulate.
+	if s.eng.Pending() > 0 || len(s.queue) > 0 {
+		s.scheduleControlTick(now + s.cfg.ControlPeriod)
+	}
+}
+
+func (s *simulator) onFailure(pm *cluster.PM) {
+	if pm.State != cluster.PMOn {
+		return
+	}
+	now := s.eng.Now()
+	s.meter.Advance(now)
+	delete(s.failEvent, pm.ID)
+	s.res.Failures++
+	s.inj.Fail(pm)
+	s.logf("fail     PM%-5d (%d VMs to re-place, reliability now %.3f)", pm.ID, pm.VMCount(), pm.Reliability)
+	pm.State = cluster.PMFailed
+
+	// All hosted VMs are treated as new requests (Section III.C).
+	// Unwind any migration holds touching this PM: holds owned by its
+	// VMs (migrating in when the target failed), and holds whose source
+	// is this PM (the in-flight VM lives elsewhere but its reservation
+	// dies with the machine).
+	for id, hold := range s.holds {
+		if hold.source == pm || pm.HasVM(id) {
+			s.releaseHold(id, hold)
+			if hold.vm.State == cluster.VMMigrating {
+				hold.vm.State = cluster.VMRunning
+			}
+		}
+	}
+	victims := pm.VMs()
+	for _, vm := range victims {
+		if vm.State == cluster.VMMigrating {
+			vm.State = cluster.VMRunning // hold already unwound above
+		}
+		if ev, ok := s.lifeEvent[vm.ID]; ok {
+			ev.Cancel()
+			delete(s.lifeEvent, vm.ID)
+		}
+		if err := pm.Evict(vm); err != nil {
+			panic(fmt.Sprintf("sim: failure eviction: %v", err))
+		}
+		// Progress is lost: the VM restarts from scratch elsewhere,
+		// exactly as a re-submitted request would.
+		vm.State = cluster.VMQueued
+		if !s.tryPlace(vm) {
+			s.enqueue(vm)
+		}
+	}
+	if s.inj.RepairTime() > 0 {
+		s.eng.ScheduleAfter(s.inj.RepairTime(), func() { s.onRepaired(pm) })
+	} else {
+		pm.State = cluster.PMOff
+	}
+	s.consolidate()
+}
+
+func (s *simulator) onRepaired(pm *cluster.PM) {
+	s.meter.Advance(s.eng.Now())
+	if pm.State == cluster.PMFailed {
+		pm.State = cluster.PMOff
+	}
+}
+
+// --- helpers ---
+
+func (s *simulator) armFailure(pm *cluster.PM) {
+	if s.inj == nil {
+		return
+	}
+	ttf := s.inj.SampleTimeToFailure()
+	s.failEvent[pm.ID] = s.eng.ScheduleAfter(ttf, func() { s.onFailure(pm) })
+}
+
+func (s *simulator) disarmFailure(pm *cluster.PM) {
+	if ev, ok := s.failEvent[pm.ID]; ok {
+		ev.Cancel()
+		delete(s.failEvent, pm.ID)
+	}
+}
+
+// drainQueue re-attempts placement for queued VMs in FIFO order.
+func (s *simulator) drainQueue() {
+	if len(s.queue) == 0 {
+		return
+	}
+	var still []*cluster.VM
+	for _, vm := range s.queue {
+		if !s.tryPlace(vm) {
+			still = append(still, vm)
+		}
+	}
+	s.queue = still
+	s.ensureBoots()
+}
+
+// consolidate runs the scheme's migration pass and tallies moves. Under
+// the timed-migration model each move additionally holds the VM's
+// resources on the source PM and parks the VM in the Migrating state until
+// the transfer window elapses.
+func (s *simulator) consolidate() {
+	moves, err := s.cfg.Placer.Consolidate(s.ctx())
+	if err != nil {
+		panic(fmt.Sprintf("sim: consolidation failed: %v", err))
+	}
+	if len(moves) == 0 {
+		return
+	}
+	s.res.Moves = append(s.res.Moves, moves...)
+	for _, mv := range moves {
+		s.logf("migrate  VM%-5d PM%d -> PM%d (gain %.3f, round %d)", mv.VM, mv.From, mv.To, mv.Gain, mv.Round)
+	}
+	if !s.cfg.TimedMigrations {
+		return
+	}
+	for _, mv := range moves {
+		s.beginTimedMigration(mv)
+	}
+}
+
+// migrationHold records the source-side double occupancy of an in-flight
+// migration.
+type migrationHold struct {
+	vm     *cluster.VM
+	source *cluster.PM
+	demand vector.V
+	done   *Event
+}
+
+// beginTimedMigration converts an already-applied (instant) move into a
+// timed one: reserve the demand back on the source, mark the VM migrating,
+// and schedule cutover at now + T_mig of the target class. If the source
+// no longer has room for the hold (another placement raced into the freed
+// space within this same consolidation pass), the migration degrades to
+// instant — the resources genuinely moved, there is nothing left to hold.
+func (s *simulator) beginTimedMigration(mv core.Move) {
+	vm := s.findPlacedVM(mv.VM, mv.To)
+	if vm == nil || vm.State != cluster.VMRunning {
+		return
+	}
+	source := s.dc.PM(mv.From)
+	if source == nil || (source.State != cluster.PMOn && source.State != cluster.PMBooting) {
+		return
+	}
+	if err := source.Reserve(vm.Demand); err != nil {
+		return
+	}
+	vm.State = cluster.VMMigrating
+	hold := &migrationHold{vm: vm, source: source, demand: vm.Demand.Clone()}
+	hold.done = s.eng.ScheduleAfter(s.dc.PM(mv.To).Class.MigrationTime, func() {
+		s.finishTimedMigration(vm, hold)
+	})
+	s.holds[vm.ID] = hold
+}
+
+func (s *simulator) finishTimedMigration(vm *cluster.VM, hold *migrationHold) {
+	s.meter.Advance(s.eng.Now())
+	s.releaseHold(vm.ID, hold)
+	if vm.State == cluster.VMMigrating {
+		vm.State = cluster.VMRunning
+	}
+}
+
+// releaseHold returns a hold's reservation, tolerating a source PM that
+// failed (its accounting was reset when its VMs were evicted; reservations
+// on a failed machine are moot but must still be unwound).
+func (s *simulator) releaseHold(id cluster.VMID, hold *migrationHold) {
+	if s.holds[id] != hold {
+		return // already released
+	}
+	delete(s.holds, id)
+	hold.done.Cancel()
+	if hold.demand.LE(hold.source.Reserved()) {
+		hold.source.Release(hold.demand)
+	}
+}
+
+// findPlacedVM locates a VM by ID on the PM it was reported moved to.
+func (s *simulator) findPlacedVM(id cluster.VMID, on cluster.PMID) *cluster.VM {
+	pm := s.dc.PM(on)
+	if pm == nil {
+		return nil
+	}
+	for _, vm := range pm.VMs() {
+		if vm.ID == id {
+			return vm
+		}
+	}
+	return nil
+}
+
+// powerManage enforces the active-server policy: keep exactly spareTarget
+// idle PMs on (booting counts toward the target), shut down the rest, boot
+// more if short. With a non-empty queue nothing is shut down.
+//
+// It runs only at control-period boundaries ("we periodically determine
+// the active PMs", Section IV): enforcing it after every event makes the
+// fleet thrash — consolidation empties a PM, it powers down, and the next
+// arrival minutes later pays a full boot delay. An idle machine therefore
+// survives at most one control period.
+func (s *simulator) powerManage() {
+	if len(s.queue) > 0 {
+		return
+	}
+	var idle []*cluster.PM
+	booting := 0
+	for _, pm := range s.dc.PMs() {
+		switch {
+		case pm.Idle():
+			idle = append(idle, pm)
+		case pm.State == cluster.PMBooting:
+			booting++
+		}
+	}
+	have := len(idle) + booting
+	switch {
+	case have > s.spareTarget:
+		// Shut down the least efficient idle machines first (highest
+		// idle power per minimal-VM slot).
+		excess := have - s.spareTarget
+		rmin := s.dc.RMinShared()
+		sort.SliceStable(idle, func(i, j int) bool {
+			return idleCost(idle[i], rmin) > idleCost(idle[j], rmin)
+		})
+		for _, pm := range idle {
+			if excess <= 0 {
+				break
+			}
+			s.shutdownPM(pm)
+			excess--
+		}
+	case have < s.spareTarget:
+		needed := s.spareTarget - have
+		for _, pm := range s.bootCandidates() {
+			if needed <= 0 {
+				break
+			}
+			s.bootPM(pm)
+			needed--
+		}
+	}
+}
+
+// meanNonIdleUtilization averages the joint utilization over PMs that
+// host at least one VM, or 0 when none do.
+func (s *simulator) meanNonIdleUtilization() float64 {
+	sum, n := 0.0, 0
+	for _, pm := range s.dc.PMs() {
+		if (pm.State == cluster.PMOn || pm.State == cluster.PMBooting) && pm.VMCount() > 0 {
+			sum += pm.Utilization()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// idleCost ranks idle PMs for shutdown: watts of idle draw per minimal-VM
+// slot; higher is shut down first.
+func idleCost(pm *cluster.PM, rmin vector.V) float64 {
+	w := pm.Class.MaxMinimalVMs(rmin)
+	if w == 0 {
+		return math.Inf(1)
+	}
+	return pm.Class.IdlePower / float64(w)
+}
+
+func (s *simulator) finalizeResult() {
+	sum := &s.res.Summary
+	sum.Scheme = s.res.Scheme
+	sum.TotalEnergyKWh = power.KWh(s.meter.TotalEnergy())
+	sum.MeanActivePMs = s.res.ActivePMs.Mean()
+	sum.PeakActivePMs = s.res.ActivePMs.Max()
+	sum.Migrations = len(s.res.Moves)
+	sum.Boots = s.boots
+	if len(s.waits) > 0 {
+		var tot float64
+		for _, w := range s.waits {
+			tot += w
+		}
+		sum.MeanWaitSeconds = tot / float64(len(s.waits))
+		sum.QueuedFraction = float64(s.queuedCount) / float64(len(s.waits))
+		sum.WaitP50 = stats.Percentile(s.waits, 50)
+		sum.WaitP95 = stats.Percentile(s.waits, 95)
+		sum.WaitP99 = stats.Percentile(s.waits, 99)
+	}
+
+	s.res.EnergyKWh = metrics.NewSeries(s.res.Scheme, s.cfg.MeterBin)
+	for _, j := range s.meter.Bins() {
+		s.res.EnergyKWh.Append(power.KWh(j))
+	}
+
+	s.res.EnergyByClassKWh = make(map[string]float64)
+	s.res.PMEnergyKWh = make(map[cluster.PMID]float64, s.dc.Size())
+	for _, pm := range s.dc.PMs() {
+		kwh := power.KWh(s.meter.PMEnergy(pm.ID))
+		s.res.EnergyByClassKWh[pm.Class.Name] += kwh
+		s.res.PMEnergyKWh[pm.ID] = kwh
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim contains the discrete-event simulation engine and the cloud
+// data-center simulation built on it.
+//
+// The engine is a classic event-heap DES: events carry a timestamp and a
+// callback; Run dispatches them in non-decreasing time order with FIFO
+// tie-breaking, so simulations are fully deterministic. The cloud
+// simulation (cloudsim.go) layers VM arrivals, departures, PM power
+// transitions, failures, and control-period ticks on top.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are created through
+// Engine.Schedule/ScheduleAfter and may be cancelled before they fire.
+type Event struct {
+	time     float64
+	seq      uint64
+	fire     func()
+	canceled bool
+	index    int // heap index, -1 once removed
+}
+
+// Time returns the simulation time the event is scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. The zero value is ready to use at time 0.
+type Engine struct {
+	now        float64
+	seq        uint64
+	events     eventHeap
+	dispatched uint64
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Dispatched returns the number of events fired so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule queues fire to run at absolute time at. Scheduling in the past
+// is a programming error and panics: a DES that silently reorders time
+// produces subtly wrong results.
+func (e *Engine) Schedule(at float64, fire func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at invalid time %g", at))
+	}
+	if fire == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{time: at, seq: e.seq, fire: fire}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAfter queues fire to run d seconds from now.
+func (e *Engine) ScheduleAfter(d float64, fire func()) *Event {
+	return e.Schedule(e.now+d, fire)
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.dispatched++
+		ev.fire()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%g) before now %g", t, e.now))
+	}
+	for len(e.events) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.time > t {
+			break
+		}
+		e.Step()
+	}
+	e.now = t
+}
+
+// peek returns the earliest non-cancelled event without removing it,
+// reaping cancelled heads along the way.
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		head := e.events[0]
+		if !head.canceled {
+			return head
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}

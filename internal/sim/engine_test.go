@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %g, want 30", e.Now())
+	}
+	if e.Dispatched() != 3 {
+		t.Errorf("Dispatched = %d", e.Dispatched())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.ScheduleAfter(4, func() { times = append(times, e.Now()) })
+	})
+	e.Schedule(2, func() { times = append(times, e.Now()) })
+	e.Run()
+	want := []float64{1, 2, 5}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(5, func() { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Error("Canceled not reported")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancel after run is a no-op.
+	ev.Cancel()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var fired []float64
+	for _, at := range []float64{1, 5, 10, 15} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(10)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want 3 events", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %g, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 15 {
+		t.Error("remaining event lost")
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Errorf("Now = %g", e.Now())
+	}
+}
+
+func TestEngineRunUntilSkipsCancelledHead(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(5, func() { t.Error("cancelled event fired") })
+	ev.Cancel()
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Errorf("Now = %g", e.Now())
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	cases := map[string]func(e *Engine){
+		"past":     func(e *Engine) { e.Schedule(5, func() {}); e.Run(); e.Schedule(1, func() {}) },
+		"nan":      func(e *Engine) { e.Schedule(math.NaN(), func() {}) },
+		"inf":      func(e *Engine) { e.Schedule(math.Inf(1), func() {}) },
+		"nil":      func(e *Engine) { e.Schedule(1, nil) },
+		"backward": func(e *Engine) { e.RunUntil(10); e.RunUntil(5) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			var e Engine
+			f(&e)
+		}()
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of insert
+// order.
+func TestQuickEngineOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fired []float64
+		for _, x := range raw {
+			at := float64(x)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}

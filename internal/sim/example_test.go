@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Example runs the paper's dynamic scheme over a tiny deterministic
+// workload and reads the headline metrics off the result.
+func Example() {
+	fast := cluster.FastClass
+	dc := cluster.MustNew(cluster.Config{
+		RMin:   cluster.TableIIRMin.Clone(),
+		Groups: []cluster.Group{{Class: &fast, Count: 4}},
+	})
+
+	var requests []workload.Request
+	for i := 0; i < 12; i++ {
+		requests = append(requests, workload.Request{
+			JobID: i, Submit: float64(i) * 300,
+			CPUCores: 1, MemoryGB: 0.5,
+			EstimatedRunTime: 7200, RunTime: 7200,
+		})
+	}
+
+	res, err := sim.Run(sim.Config{
+		DC:       dc,
+		Placer:   policy.NewDynamic(),
+		Requests: requests,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed: %d\n", res.Summary.VMsCompleted)
+	fmt.Printf("peak active PMs: %.0f\n", res.Summary.PeakActivePMs)
+	fmt.Printf("energy > 0: %v\n", res.Summary.TotalEnergyKWh > 0)
+	// Output:
+	// completed: 12
+	// peak active PMs: 2
+	// energy > 0: true
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestWarmStartPowersOnPMs(t *testing.T) {
+	res, err := Run(Config{
+		DC:        smallFleet(),
+		Placer:    policy.FirstFit{},
+		Requests:  reqs(5, 1, 600),
+		WarmStart: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With machines already on, the first arrivals place immediately.
+	if res.Summary.QueuedFraction != 0 {
+		t.Errorf("warm start still queued %.2f%% of requests", res.Summary.QueuedFraction*100)
+	}
+	if got := res.ActivePMs.At(0); got != 3 {
+		t.Errorf("t=0 active sample = %g, want 3", got)
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	bad := []int{-1, 7} // fleet has 6 PMs
+	for _, w := range bad {
+		_, err := Run(Config{DC: smallFleet(), Placer: policy.FirstFit{}, Requests: reqs(1, 1, 10), WarmStart: w})
+		if err == nil {
+			t.Errorf("warm start %d accepted", w)
+		}
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	var log strings.Builder
+	_, err := Run(Config{
+		DC:       smallFleet(),
+		Placer:   policy.NewDynamic(),
+		Requests: fragmentingTrace(20),
+		EventLog: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := log.String()
+	for _, marker := range []string{"arrive", "place", "depart", "boot", "migrate", "shutdown"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("event log missing %q records", marker)
+		}
+	}
+	// Timestamps lead each line.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[:5] {
+		if len(line) < 12 {
+			t.Fatalf("malformed log line %q", line)
+		}
+	}
+}
+
+func TestEventLogDisabledByDefault(t *testing.T) {
+	// Purely smoke: a nil EventLog must not panic anywhere.
+	if _, err := Run(Config{DC: smallFleet(), Placer: policy.FirstFit{}, Requests: reqs(3, 1, 60)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanUtilizationSeries(t *testing.T) {
+	dyn, err := Run(Config{DC: smallFleet(), Placer: policy.NewDynamic(), Requests: fragmentingTrace(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Run(Config{DC: smallFleet(), Placer: policy.FirstFit{}, Requests: fragmentingTrace(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MeanUtilization.Len() != dyn.ActivePMs.Len() {
+		t.Fatal("utilization series length mismatch")
+	}
+	for _, u := range dyn.MeanUtilization.Values {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization sample %g outside [0,1]", u)
+		}
+	}
+	// The consolidating scheme should sustain at least the static
+	// scheme's packing density on this fragmenting trace.
+	if dyn.MeanUtilization.Mean() < ff.MeanUtilization.Mean()-0.02 {
+		t.Errorf("dynamic mean utilization %.3f below first-fit %.3f",
+			dyn.MeanUtilization.Mean(), ff.MeanUtilization.Mean())
+	}
+}

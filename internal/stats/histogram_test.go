@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 1, 2, 4)
+	if h.Bins() != 3 {
+		t.Fatalf("Bins = %d, want 3", h.Bins())
+	}
+	h.AddAll([]float64{0, 0.5, 1, 1.5, 3.9, 4, -1})
+	if h.Count(0) != 2 { // 0, 0.5
+		t.Errorf("bin 0 = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 2 { // 1, 1.5
+		t.Errorf("bin 1 = %d, want 2", h.Count(1))
+	}
+	if h.Count(2) != 1 { // 3.9
+		t.Errorf("bin 2 = %d, want 1", h.Count(2))
+	}
+	if h.Over != 1 || h.Under != 1 {
+		t.Errorf("over/under = %d/%d, want 1/1", h.Over, h.Under)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramEdgeSample(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	h.Add(10) // exactly on an interior edge -> bin 1
+	if h.Count(1) != 1 || h.Count(0) != 0 {
+		t.Errorf("edge sample landed in bins %d/%d", h.Count(0), h.Count(1))
+	}
+	h.Add(20) // on last edge -> overflow
+	if h.Over != 1 {
+		t.Errorf("last-edge sample Over = %d, want 1", h.Over)
+	}
+}
+
+func TestHistogramBinRangeAndFraction(t *testing.T) {
+	h := NewHistogram(0, 5, 10)
+	lo, hi := h.BinRange(1)
+	if lo != 5 || hi != 10 {
+		t.Errorf("BinRange(1) = %g, %g", lo, hi)
+	}
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+	h.AddAll([]float64{1, 2, 7, 8})
+	if got := h.Fraction(0); got != 0.5 {
+		t.Errorf("Fraction(0) = %g, want 0.5", got)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(0, 1, 2, 3)
+	h.AddAll([]float64{-1, 0.5, 1.5, 1.7, 2.5})
+	if got := h.CumulativeCount(0); got != 2 { // under + bin0
+		t.Errorf("CumulativeCount(0) = %d, want 2", got)
+	}
+	if got := h.CumulativeCount(2); got != 5 {
+		t.Errorf("CumulativeCount(2) = %d, want 5", got)
+	}
+}
+
+func TestNewLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 5)
+	if h.Bins() != 5 {
+		t.Fatalf("Bins = %d, want 5", h.Bins())
+	}
+	lo, hi := h.BinRange(4)
+	if lo != 8 || hi != 10 {
+		t.Errorf("last bin = [%g, %g)", lo, hi)
+	}
+}
+
+func TestHistogramPanicsOnBadEdges(t *testing.T) {
+	for name, f := range map[string]func(){
+		"too few":        func() { NewHistogram(1) },
+		"not increasing": func() { NewHistogram(1, 1) },
+		"bad linear":     func() { NewLinearHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.AddAll([]float64{0.5, 0.6, 1.5, -3, 9})
+	s := h.String()
+	if !strings.Contains(s, "underflow 1") || !strings.Contains(s, "overflow 1") {
+		t.Errorf("String missing under/overflow: %q", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Errorf("String missing bars: %q", s)
+	}
+}
+
+// Property: every sample is accounted for exactly once.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(raw []int8) bool {
+		h := NewLinearHistogram(-50, 50, 10)
+		for _, x := range raw {
+			h.Add(float64(x))
+		}
+		inBins := h.Under + h.Over
+		for i := 0; i < h.Bins(); i++ {
+			inBins += h.Count(i)
+		}
+		return inBins == len(raw) && h.Total() == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Example generates the paper's evaluation week and applies the Section
+// V.A pipeline: filter, then split jobs into single-core VM requests.
+func Example() {
+	jobs := workload.MustGenerate(workload.DefaultWeekConfig(1))
+	jobs = workload.Filter(jobs, workload.DefaultFilter())
+	requests := workload.ToRequests(jobs)
+	s := workload.Summarize(jobs)
+
+	fmt.Printf("jobs: %d\n", s.TotalJobs)
+	fmt.Printf("requests: %d\n", len(requests))
+	fmt.Printf("peak day: %d\n", s.PeakDay)
+	// Output:
+	// jobs: 4574
+	// requests: 8940
+	// peak day: 2
+}
+
+// ExampleParseSWF reads a Standard Workload Format fragment, the format of
+// the Parallel Workloads Archive logs the paper draws its trace from.
+func ExampleParseSWF() {
+	trace := `; Computer: example
+1 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1
+2 60 0 600 1 -1 262144 1 900 -1 1 10 20 1 1 1 -1 -1
+`
+	jobs, err := workload.ParseSWF(strings.NewReader(trace))
+	if err != nil {
+		panic(err)
+	}
+	for _, j := range jobs {
+		fmt.Printf("job %d: %d cores, %.2f GB, runs %.0fs\n", j.ID, j.Cores, j.MemoryGB, j.RunTime)
+	}
+	// Output:
+	// job 1: 4 cores, 2.00 GB, runs 3600s
+	// job 2: 1 cores, 0.25 GB, runs 600s
+}

@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// GenConfig parameterizes the synthetic LPC-like trace generator.
+//
+// The paper's trace (Figure 2) is one week of the LPC log: 4,574 jobs after
+// filtering, a peak of 982 VM requests in one day, most jobs requiring less
+// than 1 GB of memory, and 2,077 jobs running for less than a day. The
+// defaults below reproduce the job count, the per-day arrival shape with
+// its 982-job peak, and the memory distribution.
+//
+// One deliberate calibration difference, documented in DESIGN.md: with the
+// paper's literal runtime distribution (~45% of jobs longer than a day) a
+// 500-core data center at 653 jobs/day would saturate, which contradicts
+// the fluctuating server counts of Figure 3. The default runtime
+// distribution therefore keeps the published *shape* (log-normal body with
+// a heavy tail, a meaningful multi-day cohort) while keeping offered load
+// in the regime Figure 3 shows. RuntimeScale lets callers push toward the
+// literal distribution.
+type GenConfig struct {
+	// Seed drives all randomness; the same seed yields the same trace.
+	Seed int64
+
+	// DailyJobs is the number of jobs submitted on each simulated day;
+	// its length sets the trace length in days.
+	DailyJobs []int
+
+	// DiurnalPeakHour is the hour of day (0-23) of peak submission
+	// intensity; intensity follows 1 + DiurnalAmplitude*cos about it.
+	DiurnalPeakHour float64
+
+	// DiurnalAmplitude in [0, 1) controls day/night contrast.
+	DiurnalAmplitude float64
+
+	// CoreWeights[i] is the relative frequency of jobs requesting
+	// CoreOptions[i] processors.
+	CoreOptions []int
+	CoreWeights []float64
+
+	// MemPerCoreOptions/Weights give the per-core memory demand in GB.
+	MemPerCoreOptions []float64
+	MemPerCoreWeights []float64
+
+	// RuntimeMedian and RuntimeSigma shape the log-normal runtime body
+	// (seconds); RuntimeScale multiplies every runtime draw.
+	RuntimeMedian float64
+	RuntimeSigma  float64
+	RuntimeScale  float64
+
+	// LongJobFraction of jobs instead draw from a long-job log-normal
+	// with LongRuntimeMedian, producing the multi-day cohort.
+	LongJobFraction   float64
+	LongRuntimeMedian float64
+
+	// MaxRuntime truncates runtime draws (seconds); 0 disables.
+	MaxRuntime float64
+
+	// EstimateNoise adds user runtime-estimate error: the submitted
+	// estimate is RunTime * (1 + U[0, EstimateNoise]). Zero reproduces
+	// the paper's assumption of accurate estimates.
+	EstimateNoise float64
+}
+
+// DefaultWeekConfig returns the generator configuration used by the
+// experiment harness: one week, 4,574 jobs with a 982-job peak day.
+func DefaultWeekConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed: seed,
+		// Sums to 4574 with a midweek peak of 982 (Figure 2a).
+		DailyJobs:        []int{520, 705, 982, 770, 640, 480, 477},
+		DiurnalPeakHour:  14,
+		DiurnalAmplitude: 0.6,
+		// Mostly narrow jobs; a job with c cores becomes c single-core
+		// VM requests after normalization.
+		CoreOptions: []int{1, 2, 4, 8},
+		CoreWeights: []float64{0.62, 0.2, 0.12, 0.06},
+		// "most jobs require the memories of less than 1GB" (Fig 2b).
+		MemPerCoreOptions: []float64{0.25, 0.5, 1, 2, 4},
+		MemPerCoreWeights: []float64{0.38, 0.3, 0.2, 0.09, 0.03},
+		// Calibrated so offered load (arrival rate x mean runtime x
+		// cores) averages ~40% of the Table II fleet's 500 cores with
+		// peak-day bursts near capacity — the regime in which
+		// Figure 3's server counts fluctuate rather than saturate.
+		RuntimeMedian:     50 * 60,
+		RuntimeSigma:      1.5,
+		RuntimeScale:      1,
+		LongJobFraction:   0.04,
+		LongRuntimeMedian: 13 * 3600,
+		MaxRuntime:        4 * 24 * 3600,
+		EstimateNoise:     0,
+	}
+}
+
+// GoogleLikeConfig returns a generator preset with the character of
+// public cloud-cluster traces rather than HPC batch logs: an order of
+// magnitude more, much shorter tasks (median minutes, not hours), almost
+// all single-core, tiny memory grants, and a flatter diurnal profile.
+// The generality study (EXPERIMENTS.md E-R2) uses it to check that the
+// placement scheme's win is not an artifact of the LPC-like calibration.
+func GoogleLikeConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:             seed,
+		DailyJobs:        []int{2400, 2600, 2800, 2600, 2500, 2300, 2200},
+		DiurnalPeakHour:  15,
+		DiurnalAmplitude: 0.25,
+		CoreOptions:      []int{1, 2, 4},
+		CoreWeights:      []float64{0.88, 0.09, 0.03},
+		// Mostly sub-GB tasks.
+		MemPerCoreOptions: []float64{0.25, 0.5, 1},
+		MemPerCoreWeights: []float64{0.7, 0.25, 0.05},
+		// Short tasks with a long service tail.
+		RuntimeMedian:     8 * 60,
+		RuntimeSigma:      1.8,
+		RuntimeScale:      1,
+		LongJobFraction:   0.02,
+		LongRuntimeMedian: 12 * 3600,
+		MaxRuntime:        3 * 24 * 3600,
+		EstimateNoise:     0,
+	}
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if len(c.DailyJobs) == 0 {
+		return fmt.Errorf("workload: generator needs at least one day")
+	}
+	for d, n := range c.DailyJobs {
+		if n < 0 {
+			return fmt.Errorf("workload: day %d has negative job count", d)
+		}
+	}
+	if len(c.CoreOptions) == 0 || len(c.CoreOptions) != len(c.CoreWeights) {
+		return fmt.Errorf("workload: core options/weights mismatched")
+	}
+	if len(c.MemPerCoreOptions) == 0 || len(c.MemPerCoreOptions) != len(c.MemPerCoreWeights) {
+		return fmt.Errorf("workload: memory options/weights mismatched")
+	}
+	if c.RuntimeMedian <= 0 || c.RuntimeSigma < 0 {
+		return fmt.Errorf("workload: invalid runtime distribution (median=%g sigma=%g)", c.RuntimeMedian, c.RuntimeSigma)
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("workload: diurnal amplitude %g not in [0,1)", c.DiurnalAmplitude)
+	}
+	if c.LongJobFraction < 0 || c.LongJobFraction > 1 {
+		return fmt.Errorf("workload: long-job fraction %g not in [0,1]", c.LongJobFraction)
+	}
+	if c.EstimateNoise < 0 {
+		return fmt.Errorf("workload: negative estimate noise")
+	}
+	return nil
+}
+
+// Generate produces a synthetic trace per cfg, sorted by submit time.
+// Job IDs are assigned sequentially in submission order starting at 1.
+func Generate(cfg GenConfig) ([]Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRand(cfg.Seed)
+	scale := cfg.RuntimeScale
+	if scale == 0 {
+		scale = 1
+	}
+
+	var jobs []Job
+	for day, n := range cfg.DailyJobs {
+		dayStart := float64(day) * 24 * 3600
+		for i := 0; i < n; i++ {
+			submit := dayStart + diurnalOffset(r, cfg.DiurnalPeakHour, cfg.DiurnalAmplitude)
+			cores := cfg.CoreOptions[stats.Categorical(r, cfg.CoreWeights)]
+			memPerCore := cfg.MemPerCoreOptions[stats.Categorical(r, cfg.MemPerCoreWeights)]
+
+			median := cfg.RuntimeMedian
+			if cfg.LongJobFraction > 0 && r.Float64() < cfg.LongJobFraction {
+				median = cfg.LongRuntimeMedian
+			}
+			run := stats.LogNormalFromMedian(r, median, cfg.RuntimeSigma) * scale
+			if run < 1 {
+				run = 1
+			}
+			if cfg.MaxRuntime > 0 && run > cfg.MaxRuntime {
+				run = cfg.MaxRuntime
+			}
+			est := run
+			if cfg.EstimateNoise > 0 {
+				est = run * (1 + r.Float64()*cfg.EstimateNoise)
+			}
+
+			jobs = append(jobs, Job{
+				Submit:           submit,
+				RunTime:          math.Round(run),
+				EstimatedRunTime: math.Round(est),
+				Cores:            cores,
+				MemoryGB:         memPerCore * float64(cores),
+				Status:           StatusCompleted,
+			})
+		}
+	}
+	SortBySubmit(jobs)
+	for i := range jobs {
+		jobs[i].ID = i + 1
+	}
+	return jobs, nil
+}
+
+// MustGenerate is Generate that panics on configuration errors.
+func MustGenerate(cfg GenConfig) []Job {
+	jobs, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return jobs
+}
+
+// diurnalOffset samples a within-day offset (seconds in [0, 86400)) from
+// the density 1 + a*cos(2π(h - peak)/24) by rejection sampling, which is
+// exact and fast for a < 1.
+func diurnalOffset(r stats.Rand, peakHour, amplitude float64) float64 {
+	if amplitude == 0 {
+		return r.Float64() * 86400
+	}
+	for {
+		t := r.Float64() * 86400
+		h := t / 3600
+		density := 1 + amplitude*math.Cos(2*math.Pi*(h-peakHour)/24)
+		if r.Float64()*(1+amplitude) <= density {
+			return t
+		}
+	}
+}
+
+// Stats summarizes a trace for Figure 2: arrivals per day, memory and
+// runtime distributions (computed over single-core VM requests, as the
+// paper plots them).
+type Stats struct {
+	// JobsPerDay counts VM requests arriving in each 24 h window
+	// (Figure 2a plots "number of arrival jobs per day" post-split).
+	JobsPerDay []int
+
+	// TotalJobs is the number of jobs; TotalRequests the number of
+	// single-core VM requests after normalization.
+	TotalJobs     int
+	TotalRequests int
+
+	// PeakDay is the day index with most requests; PeakDayRequests its
+	// count.
+	PeakDay         int
+	PeakDayRequests int
+
+	// MemHistogram buckets per-request memory in GB (Figure 2b).
+	MemHistogram *stats.Histogram
+
+	// RuntimeHistogram buckets runtime in hours (Figure 2c).
+	RuntimeHistogram *stats.Histogram
+
+	// UnderOneGB is the fraction of requests needing < 1 GB.
+	UnderOneGB float64
+
+	// UnderOneDay is the number of jobs with runtime < 24 h (the paper
+	// reports 2,077 for its trace).
+	UnderOneDay int
+}
+
+// Summarize computes trace statistics from jobs.
+func Summarize(jobs []Job) Stats {
+	reqs := ToRequests(jobs)
+	s := Stats{
+		TotalJobs:        len(jobs),
+		TotalRequests:    len(reqs),
+		MemHistogram:     stats.NewHistogram(0, 0.25, 0.5, 1, 2, 4, 8, 16),
+		RuntimeHistogram: stats.NewHistogram(0, 1, 3, 6, 12, 24, 48, 96, 24*14),
+	}
+	var lastDay int
+	for _, q := range reqs {
+		if d := int(q.Submit / 86400); d > lastDay {
+			lastDay = d
+		}
+	}
+	s.JobsPerDay = make([]int, lastDay+1)
+	under1GB := 0
+	for _, q := range reqs {
+		d := int(q.Submit / 86400)
+		s.JobsPerDay[d]++
+		s.MemHistogram.Add(q.MemoryGB)
+		s.RuntimeHistogram.Add(q.RunTime / 3600)
+		if q.MemoryGB < 1 {
+			under1GB++
+		}
+	}
+	for d, n := range s.JobsPerDay {
+		if n > s.PeakDayRequests {
+			s.PeakDayRequests = n
+			s.PeakDay = d
+		}
+	}
+	if len(reqs) > 0 {
+		s.UnderOneGB = float64(under1GB) / float64(len(reqs))
+	}
+	for _, j := range jobs {
+		if j.RunTime < 86400 {
+			s.UnderOneDay++
+		}
+	}
+	return s
+}
+
+// RuntimePercentiles returns the given runtime percentiles in seconds over
+// jobs.
+func RuntimePercentiles(jobs []Job, ps ...float64) []float64 {
+	rs := make([]float64, len(jobs))
+	for i, j := range jobs {
+		rs[i] = j.RunTime
+	}
+	sort.Float64s(rs)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = stats.Percentile(rs, p)
+	}
+	return out
+}

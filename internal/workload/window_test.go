@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestExtractWindow(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 50},
+		{ID: 2, Submit: 150},
+		{ID: 3, Submit: 250},
+		{ID: 4, Submit: 100},
+	}
+	out := ExtractWindow(jobs, 100, 200)
+	if len(out) != 2 {
+		t.Fatalf("window jobs = %d, want 2", len(out))
+	}
+	// Re-based to window start and sorted.
+	if out[0].ID != 4 || out[0].Submit != 0 {
+		t.Errorf("first = %+v", out[0])
+	}
+	if out[1].ID != 2 || out[1].Submit != 50 {
+		t.Errorf("second = %+v", out[1])
+	}
+	// Input untouched.
+	if jobs[1].Submit != 150 {
+		t.Error("ExtractWindow mutated input")
+	}
+}
+
+func TestExtractWindowDegenerate(t *testing.T) {
+	if got := ExtractWindow([]Job{{Submit: 1}}, 5, 5); got != nil {
+		t.Errorf("empty window = %v", got)
+	}
+	if got := ExtractWindow(nil, 0, 10); len(got) != 0 {
+		t.Errorf("nil trace = %v", got)
+	}
+}
+
+func TestBusiestWindow(t *testing.T) {
+	// Cluster of submissions around t=1000..1100; stragglers elsewhere.
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, Job{ID: i, Submit: 1000 + float64(i)*5})
+	}
+	jobs = append(jobs, Job{ID: 100, Submit: 10}, Job{ID: 101, Submit: 5000})
+
+	start := BusiestWindow(jobs, 200, 50)
+	if start < 900 || start > 1100 {
+		t.Errorf("busiest window start = %g, want ~1000", start)
+	}
+	window := ExtractWindow(jobs, start, start+200)
+	if len(window) < 20 {
+		t.Errorf("busiest window holds %d jobs, want >= 20", len(window))
+	}
+}
+
+func TestBusiestWindowDegenerate(t *testing.T) {
+	if got := BusiestWindow(nil, 100, 10); got != 0 {
+		t.Errorf("empty trace = %g", got)
+	}
+	if got := BusiestWindow([]Job{{Submit: 5}}, 0, 10); got != 0 {
+		t.Errorf("zero length = %g", got)
+	}
+	if got := BusiestWindow([]Job{{Submit: 5}}, 10, 0); got != 0 {
+		t.Errorf("zero stride = %g", got)
+	}
+}
+
+func TestBusiestWindowOfGeneratedTrace(t *testing.T) {
+	jobs := MustGenerate(DefaultWeekConfig(1))
+	// One-day windows, 6 h stride: the busiest day is day 2 (982 jobs).
+	start := BusiestWindow(jobs, 86400, 6*3600)
+	if day := int(start / 86400); day != 2 && day != 1 {
+		t.Errorf("busiest day window starts on day %d (t=%g), want around day 2", day, start)
+	}
+}
