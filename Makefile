@@ -1,0 +1,34 @@
+GO ?= go
+COUNT ?= 10
+BENCHTIME ?= 300ms
+
+.PHONY: test check vet race bench-kernel bench-paper bench-json
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+## check: the full pre-commit gate — vet plus the race-enabled test suite.
+check: vet race
+
+## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
+## generic Factor path). Pipe to a file and compare runs with
+## `benchstat old.txt new.txt`; COUNT=10 gives benchstat enough samples.
+bench-kernel:
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'Kernel[A-Za-z]*/(kernel|generic)/pms(100|1000)$$' \
+		-benchtime $(BENCHTIME) -count $(COUNT)
+
+## bench-paper: one benchmark per paper table/figure (root bench_test.go).
+bench-paper:
+	$(GO) test . -run '^$$' -bench . -benchmem
+
+## bench-json: regenerate BENCH_core.json — kernel vs the frozen pre-kernel
+## implementation on build / round / arrival at 100 and 1000 PMs.
+bench-json:
+	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json

@@ -10,10 +10,14 @@
 package repro_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/vector"
 	"repro/internal/workload"
 )
 
@@ -212,6 +216,107 @@ func BenchmarkDatacenterScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlacementKernel exercises the factored evaluation kernel
+// (DESIGN.md section 7) through the exported core API on a deterministic
+// mid-simulation snapshot: matrix construction, a full bounded
+// consolidation pass (Algorithm 1), and single-VM arrival placement.
+// Finer-grained kernel-vs-generic comparisons live in internal/core's
+// Kernel* benchmarks; the pre-kernel baseline is measured by
+// cmd/benchreport (not a paper artifact; an engineering bench).
+func BenchmarkPlacementKernel(b *testing.B) {
+	factors := core.DefaultFactors()
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("build/pms%d", n), func(b *testing.B) {
+			ctx, vms := kernelBenchState(n, 2*n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("consolidate/pms%d", n), func(b *testing.B) {
+			// A first-fit snapshot is already packed tight, so Algorithm 1
+			// finds nothing to do; scatter the VMs round-robin instead so
+			// the pass executes real migration rounds.
+			params := core.DefaultParams()
+			var moves int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // consolidation migrates VMs; rebuild the state
+				ctx, _ := scatteredBenchState(n, 2*n)
+				b.StartTimer()
+				mv, err := core.Consolidate(ctx, factors, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				moves = len(mv)
+			}
+			b.ReportMetric(float64(moves), "moves")
+		})
+		b.Run(fmt.Sprintf("arrival/pms%d", n), func(b *testing.B) {
+			ctx, _ := kernelBenchState(n, 2*n)
+			arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if core.BestPlacement(ctx, factors, arrival) == nil {
+					b.Fatal("no placement found")
+				}
+			}
+		})
+	}
+}
+
+// kernelBenchState builds the same deterministic snapshot cmd/benchreport
+// measures: a scaled Table II fleet, all PMs on, varied demand shapes and
+// runtimes placed first-fit, clock at two hours.
+func kernelBenchState(pmCount, nVMs int) (*core.Context, []*cluster.VM) {
+	return placedBenchState(pmCount, nVMs, false)
+}
+
+// scatteredBenchState spreads the VMs round-robin across the fleet,
+// leaving every PM lightly loaded — the shape Algorithm 1 consolidates.
+func scatteredBenchState(pmCount, nVMs int) (*core.Context, []*cluster.VM) {
+	return placedBenchState(pmCount, nVMs, true)
+}
+
+func placedBenchState(pmCount, nVMs int, scatter bool) (*core.Context, []*cluster.VM) {
+	dc := cluster.TableIIFleetScaled(pmCount)
+	for _, pm := range dc.PMs() {
+		pm.State = cluster.PMOn
+	}
+	rng := rand.New(rand.NewSource(7))
+	mems := []float64{0.25, 0.5, 1, 2}
+	var vms []*cluster.VM
+	for id := 1; id <= nVMs; id++ {
+		demand := vector.New(float64(1+rng.Intn(2)), mems[rng.Intn(len(mems))])
+		est := float64(600 + rng.Intn(86400))
+		vm := cluster.NewVM(cluster.VMID(id), demand, est, est, 0)
+		pms := dc.PMs()
+		start := 0
+		if scatter {
+			start = id % len(pms)
+		}
+		placed := false
+		for i := range pms {
+			pm := pms[(start+i)%len(pms)]
+			if pm.CanHost(vm.Demand) {
+				if err := pm.Host(vm); err != nil {
+					panic(err)
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			continue
+		}
+		vm.State = cluster.VMRunning
+		vm.StartTime = float64(rng.Intn(7000))
+		vms = append(vms, vm)
+	}
+	return core.NewContext(dc).At(7200), vms
 }
 
 // thin keeps num out of every den requests, evenly spread over the trace

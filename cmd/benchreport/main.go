@@ -1,0 +1,311 @@
+// Command benchreport measures the factored evaluation kernel against the
+// pre-kernel code path (frozen in naive.go) on the three hot operations
+// of the scheme — probability-matrix build, per-round incremental update,
+// and arrival placement — and records the results as JSON (BENCH_core.json
+// at the repository root, by convention).
+//
+// It complements the `go test -bench Kernel` micro-benchmarks in
+// internal/core: those compare the kernel against the generic
+// Factor-interface path inside the *current* matrix implementation, while
+// this command compares against the original implementation (generic
+// evaluation, per-column strided rescans with a division per row, linear
+// Best scan, sort-based arrival ranking).
+//
+// Usage:
+//
+//	benchreport [-o BENCH_core.json] [-sizes 100,1000] [-benchtime 300ms]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/vector"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the schema of BENCH_core.json.
+type Report struct {
+	Description string  `json:"description"`
+	Go          string  `json:"go"`
+	Generated   string  `json:"generated"`
+	Benchtime   string  `json:"benchtime"`
+	Scales      []Scale `json:"scales"`
+}
+
+// Scale holds one fleet size's measurements.
+type Scale struct {
+	PMs     int         `json:"pms"`
+	VMs     int         `json:"vms"`
+	Build   Measurement `json:"build"`
+	Round   Measurement `json:"round"`
+	Arrival Measurement `json:"arrival"`
+}
+
+// Measurement compares the kernel path against the pre-kernel path on one
+// operation.
+type Measurement struct {
+	KernelNsOp float64 `json:"kernel_ns_op"`
+	NaiveNsOp  float64 `json:"naive_ns_op"`
+	Speedup    float64 `json:"speedup"`
+	Iters      int     `json:"kernel_iters"`
+	NaiveIters int     `json:"naive_iters"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		outPath   = fs.String("o", "BENCH_core.json", "output JSON path (- for stdout)")
+		sizesFlag = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
+		benchtime = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{
+		Description: "factored probability kernel vs pre-kernel implementation: " +
+			"matrix build, per-round incremental update (one Apply), arrival placement",
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: benchtime.String(),
+	}
+	for _, pms := range sizes {
+		sc, err := measureScale(out, pms, 2*pms, *benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Scales = append(rep.Scales, sc)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// benchState builds a deterministic mid-simulation snapshot of a Table
+// II-mix fleet: all PMs on, VMs with varied demand shapes and runtimes
+// placed first-fit, clock at two hours.
+func benchState(pmCount, nVMs int, seed int64) (*core.Context, []*cluster.VM) {
+	dc := cluster.TableIIFleetScaled(pmCount)
+	for _, pm := range dc.PMs() {
+		pm.State = cluster.PMOn
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mems := []float64{0.25, 0.5, 1, 2}
+	var vms []*cluster.VM
+	for id := 1; id <= nVMs; id++ {
+		demand := vector.New(float64(1+rng.Intn(2)), mems[rng.Intn(len(mems))])
+		est := float64(600 + rng.Intn(86400))
+		vm := cluster.NewVM(cluster.VMID(id), demand, est, est, 0)
+		placed := false
+		for _, pm := range dc.PMs() {
+			if pm.CanHost(vm.Demand) {
+				if err := pm.Host(vm); err != nil {
+					panic(err)
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			continue
+		}
+		vm.State = cluster.VMRunning
+		vm.StartTime = float64(rng.Intn(7000))
+		vms = append(vms, vm)
+	}
+	return core.NewContext(dc).At(7200), vms
+}
+
+// measure repeats op until minDur has elapsed (after one discarded warm-up
+// call) and returns the mean wall time per call.
+func measure(minDur time.Duration, op func() error) (nsPerOp float64, iters int, err error) {
+	if err := op(); err != nil {
+		return 0, 0, err
+	}
+	var total time.Duration
+	for total < minDur {
+		start := time.Now()
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+		total += time.Since(start)
+		iters++
+	}
+	return float64(total.Nanoseconds()) / float64(iters), iters, nil
+}
+
+func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale, error) {
+	factors := core.DefaultFactors()
+	const seed = 7
+	sc := Scale{PMs: pms}
+
+	// Build: construct the matrix from scratch. Neither path mutates the
+	// datacenter, so one state serves all iterations of both.
+	ctx, vms := benchState(pms, nVMs, seed)
+	sc.VMs = len(vms)
+	var kernelBest, naiveBest [3]float64
+	kNs, kIt, err := measure(benchtime, func() error {
+		m, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return err
+		}
+		r, c, g, _ := m.Best()
+		kernelBest = [3]float64{float64(r), float64(c), g}
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	nNs, nIt, err := measure(benchtime, func() error {
+		m := newNaiveMatrix(ctx, factors, vms)
+		r, c, g, _ := m.best()
+		naiveBest = [3]float64{float64(r), float64(c), g}
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	if kernelBest != naiveBest {
+		return sc, fmt.Errorf("pms=%d: kernel Best %v != naive Best %v (equivalence violated)",
+			pms, kernelBest, naiveBest)
+	}
+	sc.Build = newMeasurement(kNs, nNs, kIt, nIt)
+
+	// Round: the incremental work of one Algorithm 1 round (Apply = two
+	// row refills plus tracker and heap maintenance), ping-ponging the
+	// best move so the state stays bounded. Each path mutates its own
+	// identical copy of the fleet.
+	{
+		ctx, vms := benchState(pms, nVMs, seed)
+		m, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return sc, err
+		}
+		r, c, _, ok := m.Best()
+		if !ok {
+			return sc, fmt.Errorf("pms=%d: no positive-gain move in the bench state", pms)
+		}
+		col := m.VM(c)
+		origin, _ := m.RowOf(col.Host)
+		kNs, kIt, err = measure(benchtime, func() error {
+			if err := m.Apply(r, c); err != nil {
+				return err
+			}
+			return m.Apply(origin, c)
+		})
+		if err != nil {
+			return sc, err
+		}
+	}
+	{
+		ctx, vms := benchState(pms, nVMs, seed)
+		m := newNaiveMatrix(ctx, factors, vms)
+		r, c, _, ok := m.best()
+		if !ok {
+			return sc, fmt.Errorf("pms=%d: no positive-gain move in the naive bench state", pms)
+		}
+		origin := m.curRow[c]
+		nNs, nIt, err = measure(benchtime, func() error {
+			if err := m.apply(r, c); err != nil {
+				return err
+			}
+			return m.apply(origin, c)
+		})
+		if err != nil {
+			return sc, err
+		}
+	}
+	// Halve: one measured op is two Applies (there and back).
+	sc.Round = newMeasurement(kNs/2, nNs/2, kIt, nIt)
+
+	// Arrival: place one new VM.
+	{
+		ctx, _ := benchState(pms, nVMs, seed)
+		arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+		kNs, kIt, err = measure(benchtime, func() error {
+			if core.BestPlacement(ctx, factors, arrival) == nil {
+				return fmt.Errorf("no placement found")
+			}
+			return nil
+		})
+		if err != nil {
+			return sc, err
+		}
+		var kPM, nPM *cluster.PM
+		kPM = core.BestPlacement(ctx, factors, arrival)
+		nNs, nIt, err = measure(benchtime, func() error {
+			if naiveBestPlacement(ctx, factors, arrival) == nil {
+				return fmt.Errorf("no placement found")
+			}
+			return nil
+		})
+		if err != nil {
+			return sc, err
+		}
+		nPM = naiveBestPlacement(ctx, factors, arrival)
+		if kPM != nPM {
+			return sc, fmt.Errorf("pms=%d: arrival kernel PM %d != naive PM %d", pms, kPM.ID, nPM.ID)
+		}
+	}
+	sc.Arrival = newMeasurement(kNs, nNs, kIt, nIt)
+
+	fmt.Fprintf(out, "pms=%-6d vms=%-6d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.3fms vs %.3fms)  arrival %.2fx (%.1fus vs %.1fus)\n",
+		sc.PMs, sc.VMs,
+		sc.Build.Speedup, sc.Build.KernelNsOp/1e6, sc.Build.NaiveNsOp/1e6,
+		sc.Round.Speedup, sc.Round.KernelNsOp/1e6, sc.Round.NaiveNsOp/1e6,
+		sc.Arrival.Speedup, sc.Arrival.KernelNsOp/1e3, sc.Arrival.NaiveNsOp/1e3)
+	return sc, nil
+}
+
+func newMeasurement(kNs, nNs float64, kIt, nIt int) Measurement {
+	m := Measurement{KernelNsOp: kNs, NaiveNsOp: nNs, Iters: kIt, NaiveIters: nIt}
+	if kNs > 0 {
+		m.Speedup = nNs / kNs
+	}
+	return m
+}

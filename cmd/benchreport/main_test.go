@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSmallFleet drives the whole report pipeline at a tiny scale and
+// checks the JSON schema plus the built-in kernel/naive equivalence
+// assertions (measureScale errors out if Best or the arrival PM differ).
+func TestRunSmallFleet(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-sizes", "8,16", "-benchtime", "5ms", "-o", out}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if len(rep.Scales) != 2 {
+		t.Fatalf("got %d scales, want 2", len(rep.Scales))
+	}
+	for _, sc := range rep.Scales {
+		if sc.PMs <= 0 || sc.VMs <= 0 {
+			t.Errorf("scale %+v missing fleet sizes", sc)
+		}
+		for name, m := range map[string]Measurement{
+			"build": sc.Build, "round": sc.Round, "arrival": sc.Arrival,
+		} {
+			if m.KernelNsOp <= 0 || m.NaiveNsOp <= 0 {
+				t.Errorf("pms=%d %s: non-positive timings %+v", sc.PMs, name, m)
+			}
+			if m.Speedup <= 0 {
+				t.Errorf("pms=%d %s: missing speedup %+v", sc.PMs, name, m)
+			}
+			if m.Iters <= 0 || m.NaiveIters <= 0 {
+				t.Errorf("pms=%d %s: missing iteration counts %+v", sc.PMs, name, m)
+			}
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 100, 1000 ")
+	if err != nil {
+		t.Fatalf("parseSizes: %v", err)
+	}
+	if len(got) != 2 || got[0] != 100 || got[1] != 1000 {
+		t.Fatalf("parseSizes = %v, want [100 1000]", got)
+	}
+	if _, err := parseSizes("100,x"); err == nil {
+		t.Fatal("parseSizes accepted a non-numeric entry")
+	}
+	if _, err := parseSizes("1"); err == nil {
+		t.Fatal("parseSizes accepted a sub-minimum fleet")
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// naiveMatrix is a frozen copy of the probability-matrix implementation
+// as it existed before the factored kernel: every cell evaluated through
+// the generic Factor interface, per-column tracker rescans with a
+// division per row, and a linear scan over all columns for Best. It
+// exists so the recorded speedups compare against the real pre-kernel
+// code path rather than against a baseline that already benefits from
+// the new tracker machinery.
+type naiveMatrix struct {
+	ctx     *core.Context
+	factors []core.Factor
+
+	pms []*cluster.PM
+	vms []*cluster.VM
+
+	rowOf map[cluster.PMID]int
+
+	p [][]float64
+
+	curRow  []int
+	curProb []float64
+
+	bestRow  []int
+	bestGain []float64
+}
+
+func newNaiveMatrix(ctx *core.Context, factors []core.Factor, vms []*cluster.VM) *naiveMatrix {
+	m := &naiveMatrix{
+		ctx:     ctx,
+		factors: factors,
+		pms:     ctx.DC.ActivePMs(),
+		rowOf:   make(map[cluster.PMID]int),
+	}
+	sort.Slice(m.pms, func(i, j int) bool { return m.pms[i].ID < m.pms[j].ID })
+	for r, pm := range m.pms {
+		m.rowOf[pm.ID] = r
+	}
+	m.vms = append(m.vms, vms...)
+	sort.Slice(m.vms, func(i, j int) bool { return m.vms[i].ID < m.vms[j].ID })
+
+	m.p = make([][]float64, len(m.pms))
+	for r := range m.p {
+		m.p[r] = make([]float64, len(m.vms))
+	}
+	m.curRow = make([]int, len(m.vms))
+	m.curProb = make([]float64, len(m.vms))
+	m.bestRow = make([]int, len(m.vms))
+	m.bestGain = make([]float64, len(m.vms))
+
+	for r, pm := range m.pms {
+		for c, vm := range m.vms {
+			m.p[r][c] = core.Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+		}
+	}
+	for c := range m.vms {
+		m.refreshColumn(c)
+	}
+	return m
+}
+
+func (m *naiveMatrix) normalize(p, cur float64) float64 {
+	if cur <= 0 {
+		if p > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return p / cur
+}
+
+func (m *naiveMatrix) refreshColumn(c int) {
+	vm := m.vms[c]
+	cr := m.rowOf[vm.Host]
+	m.curRow[c] = cr
+	m.curProb[c] = m.p[cr][c]
+
+	bestRow, bestGain := -1, 0.0
+	for r := range m.pms {
+		if r == cr {
+			continue
+		}
+		if g := m.normalize(m.p[r][c], m.curProb[c]); g > bestGain {
+			bestGain, bestRow = g, r
+		}
+	}
+	m.bestRow[c] = bestRow
+	m.bestGain[c] = bestGain
+}
+
+func (m *naiveMatrix) recomputeRow(r int) {
+	pm := m.pms[r]
+	for c, vm := range m.vms {
+		m.p[r][c] = core.Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+	}
+	for c := range m.vms {
+		switch {
+		case m.curRow[c] == r || m.rowOf[m.vms[c].Host] != m.curRow[c]:
+			m.refreshColumn(c)
+		case m.bestRow[c] == r:
+			m.refreshColumn(c)
+		default:
+			if g := m.normalize(m.p[r][c], m.curProb[c]); g > m.bestGain[c] {
+				m.bestGain[c] = g
+				m.bestRow[c] = r
+			}
+		}
+	}
+}
+
+func (m *naiveMatrix) best() (r, c int, gain float64, ok bool) {
+	r, c, gain = -1, -1, 0
+	for col := range m.vms {
+		g := m.bestGain[col]
+		if m.bestRow[col] < 0 {
+			continue
+		}
+		if g > gain {
+			gain, r, c, ok = g, m.bestRow[col], col, true
+		}
+	}
+	return r, c, gain, ok
+}
+
+func (m *naiveMatrix) apply(r, c int) error {
+	vm := m.vms[c]
+	from := m.pms[m.curRow[c]]
+	to := m.pms[r]
+	if err := from.Evict(vm); err != nil {
+		return fmt.Errorf("naive apply VM %d: %w", vm.ID, err)
+	}
+	if err := to.Host(vm); err != nil {
+		return fmt.Errorf("naive apply VM %d: %w", vm.ID, err)
+	}
+	m.recomputeRow(m.rowOf[from.ID])
+	m.recomputeRow(m.rowOf[to.ID])
+	return nil
+}
+
+// naiveBestPlacement is the pre-kernel arrival path: evaluate Joint on
+// every active PM, build the full candidate slice, sort it, take the
+// head.
+func naiveBestPlacement(ctx *core.Context, factors []core.Factor, vm *cluster.VM) *cluster.PM {
+	var out []core.Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if p := core.Joint(ctx, factors, vm, pm, false); p > 0 {
+			out = append(out, core.Placement{PM: pm, Probability: p})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].PM.ID < out[j].PM.ID
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out[0].PM
+}

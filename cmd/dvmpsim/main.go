@@ -6,6 +6,11 @@
 //
 //	dvmpsim [-scheme dynamic] [-trace lpc.swf] [-seed 1] [-spare]
 //	        [-nodes 100] [-csv out.csv] [-v]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
+// the whole run for `go tool pprof`; the placement hot path (matrix build
+// and per-round refresh) is where the samples land under -scheme dynamic.
 //
 // Without -trace a synthetic week calibrated to the paper's Figure 2 is
 // generated from -seed. With -trace, the file is parsed as Standard
@@ -19,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -49,9 +56,37 @@ func run(args []string, out io.Writer) error {
 		logPath   = fs.String("eventlog", "", "write a per-event trace to this file")
 		csvPath   = fs.String("csv", "", "write hourly active/energy series as CSV")
 		verbose   = fs.Bool("v", false, "print the hourly series to stdout")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvmpsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvmpsim: memprofile:", err)
+			}
+		}()
 	}
 
 	placer, err := policy.ByName(*scheme, *seed)

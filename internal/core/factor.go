@@ -27,9 +27,10 @@ import (
 )
 
 // Context carries the read-only simulation state factors evaluate against.
-// A Context is built per placement event; its internal per-class cache
-// assumes the data center's classes and R^MIN do not change while the
-// Context lives.
+// Its internal per-class cache assumes the data center's classes and R^MIN
+// do not change while the Context lives; under that invariant a single
+// Context can be reused across placement events (see NewContext and At),
+// which keeps the cache warm on the arrival hot path.
 type Context struct {
 	// DC is the data center (supplies RMin and eff_j).
 	DC *cluster.Datacenter
@@ -52,6 +53,25 @@ type classInfo struct {
 	eff      float64 // eff_j: relative power efficiency
 	invK     float64 // 1/K for inverting the level partition
 	overhead float64 // T_cre + T_mig for the virtualization factor
+}
+
+// NewContext returns a reusable Context for dc. Callers that process many
+// placement events (the simulator's arrival and consolidation paths) should
+// build one Context per run and advance it with At, so the per-class cache
+// survives across events instead of being rebuilt M times per event.
+func NewContext(dc *cluster.Datacenter) *Context {
+	return &Context{DC: dc}
+}
+
+// At updates the Context's clock and returns it, for chaining:
+//
+//	placer.Place(ctx.At(engine.Now()), vm)
+//
+// The per-class cache is retained; it only depends on the fleet's classes
+// and R^MIN, not on time.
+func (ctx *Context) At(now float64) *Context {
+	ctx.Now = now
+	return ctx
 }
 
 func (ctx *Context) classInfoFor(pm *cluster.PM) *classInfo {
@@ -145,16 +165,23 @@ func (VirtualizationFactor) Probability(ctx *Context, vm *cluster.VM, pm *cluste
 	if hosted {
 		return 1
 	}
-	tre := vm.RemainingEstimate(ctx.Now)
-	if tre <= 0 {
-		return 0
-	}
 	// A migration pays creation plus transfer on the target (Eq. 3); an
 	// initial placement of a not-yet-running VM only pays creation —
 	// there is nothing to transfer yet.
 	overhead := ctx.classInfoFor(pm).overhead
 	if vm.Host == cluster.NoPM {
 		overhead = pm.Class.CreationTime
+	}
+	return virProbability(vm.RemainingEstimate(ctx.Now), overhead)
+}
+
+// virProbability is the Eq. 3 penalty for remaining estimate tre against a
+// target-side overhead. It is shared by VirtualizationFactor and the
+// factored kernel's per-(column, class) memo so the two paths are
+// bit-identical by construction.
+func virProbability(tre, overhead float64) float64 {
+	if tre <= 0 {
+		return 0
 	}
 	q := (tre - overhead) / tre
 	if q <= 0 {
@@ -194,14 +221,21 @@ func (EfficiencyFactor) Name() string { return "eff" }
 // Probability implements Factor.
 func (EfficiencyFactor) Probability(ctx *Context, vm *cluster.VM, pm *cluster.PM, hosted bool) float64 {
 	info := ctx.classInfoFor(pm)
-	if info.wj == 0 {
-		return 0
-	}
 	var u float64
 	if hosted {
 		u = pm.Utilization()
 	} else {
 		u = prospectiveUtilization(pm, vm.Demand)
+	}
+	return effProbability(info, u)
+}
+
+// effProbability is Eq. 4-5 for a PM of the given class at utilization u.
+// It is shared by EfficiencyFactor and the factored kernel so the two
+// paths are bit-identical by construction.
+func effProbability(info *classInfo, u float64) float64 {
+	if info.wj == 0 {
+		return 0
 	}
 	// Eq. 5 draws w_j from {1, ..., W_j}: with VM i on board the PM is
 	// never idle, so the floor of the partition is level 1. Inverting

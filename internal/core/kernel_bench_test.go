@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vector"
+)
+
+// Kernel micro-benchmarks: the factored evaluation path versus the
+// generic Factor-interface path, at 100 / 1k / 10k PMs with ~2 VMs per
+// PM, over the three hot operations of the scheme — matrix build,
+// per-round incremental update, and arrival ranking. cmd/benchreport runs
+// the same comparisons programmatically and records them in
+// BENCH_core.json. For benchstat-friendly output:
+//
+//	go test ./internal/core -run '^$' -bench 'Kernel.*pms(100|1000)$' -count 10
+//
+// (the pms10000 variants are sized for scale tests, not quick runs).
+
+var benchSizes = []int{100, 1000, 10000}
+
+func benchPath(disable bool) string {
+	if disable {
+		return "generic"
+	}
+	return "kernel"
+}
+
+func BenchmarkKernelMatrixBuild(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", benchPath(disable), pms), func(b *testing.B) {
+				ctx, vms := tableIIState(b, pms, 2*pms, 7)
+				opts := MatrixOptions{DisableKernel: disable}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := NewMatrixWith(ctx, DefaultFactors(), vms, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(pms*len(vms)), "cells")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelMatrixRound measures one migration round's incremental
+// work — Apply's two recomputeRow calls plus the heap maintenance behind
+// Best — by ping-ponging the best move back and forth (two Applies per
+// iteration, so one iteration ≈ two rounds).
+func BenchmarkKernelMatrixRound(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", benchPath(disable), pms), func(b *testing.B) {
+				ctx, vms := tableIIState(b, pms, 2*pms, 7)
+				m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{DisableKernel: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, c, _, ok := m.Best()
+				if !ok {
+					b.Fatal("no positive-gain move in the bench state")
+				}
+				origin := m.curRow[c]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := m.Apply(r, c); err != nil {
+						b.Fatal(err)
+					}
+					if err := m.Apply(origin, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelArrival measures the paper's arrival path: score the new
+// VM's column and take the argmax. "kernel" is BestPlacement (factored,
+// sort-free); "generic" replicates the pre-kernel path — Joint per PM,
+// collect, full sort.
+func BenchmarkKernelArrival(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", benchPath(disable), pms), func(b *testing.B) {
+				ctx, _ := tableIIState(b, pms, 2*pms, 7)
+				arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+				factors := DefaultFactors()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var pm *cluster.PM
+					if disable {
+						pm = genericBestPlacement(ctx, factors, arrival)
+					} else {
+						pm = BestPlacement(ctx, factors, arrival)
+					}
+					if pm == nil {
+						b.Fatal("no placement found")
+					}
+				}
+			})
+		}
+	}
+}
+
+// genericBestPlacement replicates the pre-kernel arrival path for
+// comparison: evaluate Joint on every active PM, build the candidate
+// slice, sort it, take the head.
+func genericBestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
+	var out []Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if p := Joint(ctx, factors, vm, pm, false); p > 0 {
+			out = append(out, Placement{PM: pm, Probability: p})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].PM.ID < out[j].PM.ID
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out[0].PM
+}

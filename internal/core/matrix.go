@@ -14,11 +14,17 @@ import (
 // Matrix is the VM/PM mapping probability matrix of Eq. 1: M rows (active
 // PMs) by N columns (migratable VMs). It maintains, per column, the joint
 // probability of the VM's *current* placement and the best normalized
-// alternative, so Algorithm 1 can repeatedly extract the best move and
-// refresh only the two affected rows.
+// alternative, plus a max-heap over the per-column best gains, so
+// Algorithm 1 can extract the best move in O(1) and refresh only the two
+// affected rows per round.
 type Matrix struct {
 	ctx     *Context
 	factors []Factor
+
+	// kern is the compiled factored evaluator; nil when the factor list
+	// contains none of the paper's factors (or the kernel is disabled),
+	// in which case cells evaluate through the generic Factor interface.
+	kern *kernel
 
 	pms []*cluster.PM // rows
 	vms []*cluster.VM // columns
@@ -35,9 +41,58 @@ type Matrix struct {
 	curProb []float64
 
 	// bestRow[c] / bestGain[c] track the maximizing non-host row of the
-	// normalized column and its value d = p / curProb.
+	// normalized column and its value d = p / curProb. bestP[c] caches the
+	// raw probability behind bestGain[c]: for a fixed positive normalizer
+	// the division is monotone, so tracker maintenance compares raw
+	// probabilities and divides only when the best actually changes.
 	bestRow  []int
 	bestGain []float64
+	bestP    []float64
+
+	// topRows/topPs/topLen hold, per column, an exactly ordered list of
+	// the column's leading positive candidate rows (probability desc,
+	// row asc), flattened in topK-sized slots. Invariants, for columns
+	// with a positive normalizer: the list is exactly the ordered top-L
+	// rows of the column (excluding the host row), and every other row
+	// orders at or below the last entry. The head mirrors
+	// bestRow/bestP.
+	//
+	// The list makes the mass-update case cheap: when a migration
+	// endpoint PM was the cached best of many columns, each affected
+	// column promotes or repositions within its list in O(topK) — the
+	// other rows are untouched, so the remaining entries stay exact —
+	// instead of rescanning all M rows. A removal that drains a list is
+	// the only event that forces the column back into a full rescan.
+	topRows []int32
+	topPs   []float64
+	topLen  []int32
+
+	// heap orders the columns by (bestGain desc, column asc) — a total
+	// order, so heap[0] is exactly the column a linear scan would pick.
+	// hpos[c] is column c's position in heap; nil until the initial
+	// trackers are in place.
+	heap []int
+	hpos []int
+
+	// pending is recomputeRow's reusable scratch list of columns that
+	// need a full rescan.
+	pending []int
+}
+
+// topK is the depth of the per-column exact candidate list. Deep enough
+// that consolidation rounds rarely drain a list (each migration endpoint
+// consumes at most one slot per column), shallow enough that the
+// per-column bookkeeping stays a handful of comparisons.
+const topK = 4
+
+// MatrixOptions tunes matrix construction.
+type MatrixOptions struct {
+	// DisableKernel forces every cell through the generic Factor
+	// interface instead of the factored kernel. The two paths produce
+	// bit-identical matrices (asserted by TestKernelEquivalence); the
+	// switch exists for equivalence testing and for benchmarking the
+	// kernel against the naive path (cmd/benchreport).
+	DisableKernel bool
 }
 
 // NewMatrix builds the probability matrix over the data center's active
@@ -45,6 +100,11 @@ type Matrix struct {
 // currently be hosted on an active PM. Rows and columns are ordered by ID
 // for deterministic tie-breaking.
 func NewMatrix(ctx *Context, factors []Factor, vms []*cluster.VM) (*Matrix, error) {
+	return NewMatrixWith(ctx, factors, vms, MatrixOptions{})
+}
+
+// NewMatrixWith is NewMatrix with explicit options.
+func NewMatrixWith(ctx *Context, factors []Factor, vms []*cluster.VM, opts MatrixOptions) (*Matrix, error) {
 	if ctx == nil || ctx.DC == nil {
 		return nil, fmt.Errorf("core: matrix needs a context with a datacenter")
 	}
@@ -75,6 +135,10 @@ func NewMatrix(ctx *Context, factors []Factor, vms []*cluster.VM) (*Matrix, erro
 		m.colOf[vm.ID] = c
 	}
 
+	if !opts.DisableKernel {
+		m.kern, _ = newKernel(ctx, factors, m.pms, m.vms)
+	}
+
 	m.p = make([][]float64, len(m.pms))
 	for r := range m.p {
 		m.p[r] = make([]float64, len(m.vms))
@@ -83,12 +147,30 @@ func NewMatrix(ctx *Context, factors []Factor, vms []*cluster.VM) (*Matrix, erro
 	m.curProb = make([]float64, len(m.vms))
 	m.bestRow = make([]int, len(m.vms))
 	m.bestGain = make([]float64, len(m.vms))
+	m.bestP = make([]float64, len(m.vms))
+	m.topRows = make([]int32, topK*len(m.vms))
+	m.topPs = make([]float64, topK*len(m.vms))
+	m.topLen = make([]int32, len(m.vms))
 
 	m.fill()
-	for c := range m.vms {
-		m.refreshColumn(c)
+	all := make([]int, len(m.vms))
+	for c := range all {
+		all[c] = c
 	}
+	m.refreshColumns(all)
+	m.buildHeap()
 	return m, nil
+}
+
+// eval computes one cell through whichever evaluation path the matrix was
+// built with.
+func (m *Matrix) eval(r, c int) float64 {
+	pm, vm := m.pms[r], m.vms[c]
+	hosted := vm.Host == pm.ID
+	if m.kern != nil {
+		return m.kern.cell(r, c, pm, vm, hosted)
+	}
+	return Joint(m.ctx, m.factors, vm, pm, hosted)
 }
 
 // parallelBuildThreshold is the matrix size (rows * cols) above which the
@@ -97,15 +179,15 @@ func NewMatrix(ctx *Context, factors []Factor, vms []*cluster.VM) (*Matrix, erro
 var parallelBuildThreshold = 50_000
 
 // fill computes every p[r][c]. Rows are independent, so for large fleets
-// the build is sharded across workers; the per-class constants are
-// prewarmed first so the Context's lazy cache is read-only during the
-// parallel phase (no locking on the hot path).
+// the build is sharded across workers in row chunks (one channel send per
+// chunk rather than per row — at 10k+ rows the per-send overhead is
+// measurable); the per-class constants are prewarmed first so the
+// Context's lazy cache is read-only during the parallel phase (no locking
+// on the hot path).
 func (m *Matrix) fill() {
 	if len(m.pms)*len(m.vms) < parallelBuildThreshold {
-		for r, pm := range m.pms {
-			for c, vm := range m.vms {
-				m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
-			}
+		for r := range m.pms {
+			m.fillRow(r)
 		}
 		return
 	}
@@ -116,25 +198,47 @@ func (m *Matrix) fill() {
 	if workers > len(m.pms) {
 		workers = len(m.pms)
 	}
+	// Chunks several times smaller than a worker's fair share keep the
+	// load balanced when row costs vary without paying one send per row.
+	chunk := len(m.pms) / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
 	var wg sync.WaitGroup
-	rows := make(chan int)
+	chunks := make(chan [2]int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range rows {
-				pm := m.pms[r]
-				for c, vm := range m.vms {
-					m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+			for span := range chunks {
+				for r := span[0]; r < span[1]; r++ {
+					m.fillRow(r)
 				}
 			}
 		}()
 	}
-	for r := range m.pms {
-		rows <- r
+	for start := 0; start < len(m.pms); start += chunk {
+		end := start + chunk
+		if end > len(m.pms) {
+			end = len(m.pms)
+		}
+		chunks <- [2]int{start, end}
 	}
-	close(rows)
+	close(chunks)
 	wg.Wait()
+}
+
+// fillRow evaluates every cell of row r.
+func (m *Matrix) fillRow(r int) {
+	pm := m.pms[r]
+	row := m.p[r]
+	if m.kern != nil {
+		m.kern.fillRow(r, pm, m.vms, row)
+		return
+	}
+	for c, vm := range m.vms {
+		row[c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
+	}
 }
 
 // Rows and Cols report the matrix dimensions.
@@ -145,6 +249,18 @@ func (m *Matrix) Cols() int { return len(m.vms) }
 
 // P returns the joint probability for (pm row r, vm column c).
 func (m *Matrix) P(r, c int) float64 { return m.p[r][c] }
+
+// PM returns the physical machine at row r.
+func (m *Matrix) PM(r int) *cluster.PM { return m.pms[r] }
+
+// VM returns the virtual machine at column c.
+func (m *Matrix) VM(c int) *cluster.VM { return m.vms[c] }
+
+// RowOf returns the row index of the PM with the given ID.
+func (m *Matrix) RowOf(id cluster.PMID) (int, bool) {
+	r, ok := m.rowOf[id]
+	return r, ok
+}
 
 // Normalized returns d_rc = p_rc / p_(current host of c), the column-
 // normalized value Algorithm 1 compares against MIG_threshold. Values
@@ -169,74 +285,300 @@ func (m *Matrix) normalize(p, cur float64) float64 {
 	return p / cur
 }
 
-// refreshColumn recomputes curRow/curProb and the best alternative for
-// column c by scanning all rows.
-func (m *Matrix) refreshColumn(c int) {
-	vm := m.vms[c]
-	cr, ok := m.rowOf[vm.Host]
-	if !ok {
-		panic(fmt.Sprintf("core: VM %d host %d left the matrix", vm.ID, vm.Host))
+// refreshColumns recomputes curRow/curProb and the best alternative for
+// every listed column, then repositions each in the gain heap. Two
+// optimizations over a naive per-column rescan:
+//
+//   - The scan is division-free: for a positive normalizer, p/cur is
+//     monotone in p, so the lowest row maximizing the raw probability is
+//     the best alternative (max_r round(p_r/cur) = round(max_r p_r/cur),
+//     since IEEE rounding is monotone) and one division at the end
+//     recovers the gain. A non-positive normalizer means any feasible
+//     alternative is a +Inf-gain rescue; the lowest such row wins.
+//
+//   - The columns are swept together row-major: p is stored by rows, so
+//     k separate column scans stride the whole matrix k times, while one
+//     joint sweep walks each row once. When a migration target was the
+//     cached best of many columns, this turns the mass rescan from k
+//     strided passes into a single sequential one.
+//
+// For positive-normalizer columns the sweep also rebuilds the exact
+// top-topK candidate list that recomputeRow maintains incrementally.
+func (m *Matrix) refreshColumns(cols []int) {
+	if len(cols) == 0 {
+		return
 	}
-	m.curRow[c] = cr
-	m.curProb[c] = m.p[cr][c]
-
-	bestRow, bestGain := -1, 0.0
+	for _, c := range cols {
+		vm := m.vms[c]
+		cr, ok := m.rowOf[vm.Host]
+		if !ok {
+			panic(fmt.Sprintf("core: VM %d host %d left the matrix", vm.ID, vm.Host))
+		}
+		m.curRow[c] = cr
+		m.curProb[c] = m.p[cr][c]
+		m.bestRow[c] = -1
+		m.bestP[c] = 0
+		m.topLen[c] = 0
+	}
 	for r := range m.pms {
-		if r == cr {
-			continue
-		}
-		if g := m.normalize(m.p[r][c], m.curProb[c]); g > bestGain {
-			bestGain, bestRow = g, r
-		}
-	}
-	m.bestRow[c] = bestRow
-	m.bestGain[c] = bestGain
-}
-
-// recomputeRow re-evaluates every probability in row r and incrementally
-// fixes the per-column best trackers. Columns whose current host is row r
-// get a full refresh (their normalizer changed); for the rest the row's
-// new value either beats the cached best, or — if the cached best lived in
-// this row — forces a column rescan.
-func (m *Matrix) recomputeRow(r int) {
-	pm := m.pms[r]
-	for c, vm := range m.vms {
-		m.p[r][c] = Joint(m.ctx, m.factors, vm, pm, vm.Host == pm.ID)
-	}
-	for c := range m.vms {
-		switch {
-		case m.curRow[c] == r || m.rowOf[m.vms[c].Host] != m.curRow[c]:
-			// Normalizer changed (this row hosts the column's VM,
-			// or the VM moved since the trackers were computed).
-			m.refreshColumn(c)
-		case m.bestRow[c] == r:
-			// Cached best was in this row; it may have dropped.
-			m.refreshColumn(c)
-		default:
-			if g := m.normalize(m.p[r][c], m.curProb[c]); g > m.bestGain[c] {
-				m.bestGain[c] = g
+		row := m.p[r]
+		for _, c := range cols {
+			if r == m.curRow[c] {
+				continue
+			}
+			p := row[c]
+			if m.curProb[c] > 0 {
+				// Exact top-topK insertion; rows ascend, so on equal
+				// probabilities the earlier row keeps its slot.
+				base := c * topK
+				n := int(m.topLen[c])
+				if n == topK && p <= m.topPs[base+n-1] {
+					continue
+				}
+				if p <= 0 {
+					continue
+				}
+				i := n
+				for i > 0 && p > m.topPs[base+i-1] {
+					i--
+				}
+				if n < topK {
+					n++
+					m.topLen[c] = int32(n)
+				}
+				copy(m.topPs[base+i+1:base+n], m.topPs[base+i:base+n-1])
+				copy(m.topRows[base+i+1:base+n], m.topRows[base+i:base+n-1])
+				m.topPs[base+i] = p
+				m.topRows[base+i] = int32(r)
+			} else if m.bestRow[c] < 0 && p > 0 {
 				m.bestRow[c] = r
+				m.bestP[c] = p
 			}
 		}
 	}
+	for _, c := range cols {
+		if m.curProb[c] > 0 && m.topLen[c] > 0 {
+			m.bestRow[c] = int(m.topRows[c*topK])
+			m.bestP[c] = m.topPs[c*topK]
+		}
+		switch {
+		case m.bestRow[c] < 0:
+			m.bestGain[c] = 0
+		case m.curProb[c] > 0:
+			m.bestGain[c] = m.bestP[c] / m.curProb[c]
+		default:
+			m.bestGain[c] = math.Inf(1)
+		}
+		m.fixColumn(c)
+	}
+}
+
+// recomputeRow re-evaluates every probability in row r and incrementally
+// fixes the per-column best trackers. Columns whose normalizer changed
+// (this row hosts them, or their VM moved) get a full refresh. Everywhere
+// else only row r's value changed, so each column repositions row r
+// within its exact top-topK candidate list in O(topK); a full column
+// rescan is forced only when the list drains (every tracked candidate
+// dropped out). Ties go to the lowest row, exactly what a from-scratch
+// refreshColumns computes (the rebuild property test demands equality).
+func (m *Matrix) recomputeRow(r int) {
+	m.fillRow(r)
+	pending := m.pending[:0]
+	for c := range m.vms {
+		if m.curRow[c] == r || m.rowOf[m.vms[c].Host] != m.curRow[c] {
+			pending = append(pending, c)
+			continue
+		}
+		p := m.p[r][c]
+		if cur := m.curProb[c]; cur <= 0 {
+			// +Inf rescue column: the tracker names the lowest row with
+			// a positive probability. (The candidate list is not
+			// maintained here; the sweep rebuilds it if the normalizer
+			// ever turns positive again, which only happens through a
+			// refresh.)
+			if m.bestRow[c] == r {
+				if p > 0 {
+					m.bestP[c] = p // still the lowest positive row
+				} else {
+					pending = append(pending, c)
+				}
+			} else if p > 0 && (m.bestRow[c] < 0 || r < m.bestRow[c]) {
+				m.bestRow[c], m.bestGain[c], m.bestP[c] = r, math.Inf(1), p
+				m.fixColumn(c)
+			}
+		} else if !m.retop(c, r, p) {
+			pending = append(pending, c)
+		} else if head := int(m.topRows[c*topK]); m.topLen[c] > 0 &&
+			(head != m.bestRow[c] || m.topPs[c*topK] != m.bestP[c]) {
+			m.bestRow[c] = head
+			m.bestP[c] = m.topPs[c*topK]
+			m.bestGain[c] = m.bestP[c] / cur
+			m.fixColumn(c)
+		}
+	}
+	m.pending = pending
+	m.refreshColumns(pending)
+}
+
+// retop repositions row r with its new probability p inside column c's
+// exact top-topK candidate list. It reports false when the list drained
+// and the column needs a full rescan. The list invariants (see the field
+// docs) make every step exact: entries for other rows are untouched, so
+// removing, repositioning, or inserting r against them preserves both the
+// ordering and the everything-else-orders-below-the-tail guarantee.
+func (m *Matrix) retop(c, r int, p float64) bool {
+	base := c * topK
+	n := int(m.topLen[c])
+	pos := -1
+	for i := 0; i < n; i++ {
+		if int(m.topRows[base+i]) == r {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		// r was outside the list (at or below the tail). It enters only
+		// if it now orders above the tail — or if the list is certified
+		// empty, in which case r is the only positive row. A value
+		// between the tail and unknown outside rows stays out: the list
+		// shrinks conservatively rather than guessing.
+		if p <= 0 {
+			return true
+		}
+		if n > 0 {
+			tailP, tailR := m.topPs[base+n-1], int(m.topRows[base+n-1])
+			if p < tailP || (p == tailP && r > tailR) {
+				return true
+			}
+		}
+	} else {
+		oldP := m.topPs[base+pos]
+		if p == oldP {
+			return true // unchanged
+		}
+		// Remove r; it re-inserts below if it still provably orders
+		// above everything outside the list. The outside rows are
+		// bounded by the old tail — which is r's own old value when r
+		// was the tail — so that is what a lowered r must still beat.
+		copy(m.topPs[base+pos:base+n-1], m.topPs[base+pos+1:base+n])
+		copy(m.topRows[base+pos:base+n-1], m.topRows[base+pos+1:base+n])
+		n--
+		qualified := p > 0
+		if qualified {
+			if pos == n { // r was the tail
+				qualified = p > oldP
+			} else {
+				tailP, tailR := m.topPs[base+n-1], int(m.topRows[base+n-1])
+				qualified = p > tailP || (p == tailP && r < tailR)
+			}
+		}
+		if !qualified {
+			m.topLen[c] = int32(n)
+			return n > 0
+		}
+	}
+	i := n
+	for i > 0 && (p > m.topPs[base+i-1] ||
+		(p == m.topPs[base+i-1] && r < int(m.topRows[base+i-1]))) {
+		i--
+	}
+	if n < topK {
+		n++
+		m.topLen[c] = int32(n)
+	}
+	copy(m.topPs[base+i+1:base+n], m.topPs[base+i:base+n-1])
+	copy(m.topRows[base+i+1:base+n], m.topRows[base+i:base+n-1])
+	m.topPs[base+i] = p
+	m.topRows[base+i] = int32(r)
+	return true
+}
+
+// better reports whether column a should sit above column b in the gain
+// heap: higher gain first, ties toward the lower column. Because this is a
+// total order, the heap root is exactly the column the pre-heap linear
+// scan selected, preserving Algorithm 1's deterministic tie-breaking
+// (lowest VM ID; the lowest qualifying row is already tracked by
+// refreshColumn).
+func (m *Matrix) better(a, b int) bool {
+	ga, gb := m.bestGain[a], m.bestGain[b]
+	if ga != gb {
+		return ga > gb
+	}
+	return a < b
+}
+
+// buildHeap heapifies all columns once the initial trackers are computed.
+func (m *Matrix) buildHeap() {
+	m.heap = make([]int, len(m.vms))
+	m.hpos = make([]int, len(m.vms))
+	for i := range m.heap {
+		m.heap[i] = i
+		m.hpos[i] = i
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+// fixColumn restores the heap invariant after column c's bestGain changed.
+// No-op before the heap exists (during the initial tracker pass).
+func (m *Matrix) fixColumn(c int) {
+	if m.hpos == nil {
+		return
+	}
+	m.siftUp(m.hpos[c])
+	m.siftDown(m.hpos[c])
+}
+
+func (m *Matrix) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.better(m.heap[i], m.heap[parent]) {
+			return
+		}
+		m.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (m *Matrix) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && m.better(m.heap[l], m.heap[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && m.better(m.heap[r], m.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		m.heapSwap(i, best)
+		i = best
+	}
+}
+
+func (m *Matrix) heapSwap(i, j int) {
+	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
+	m.hpos[m.heap[i]] = i
+	m.hpos[m.heap[j]] = j
 }
 
 // Best returns the globally maximal normalized gain and its (row, col), or
 // ok = false when no column has a positive-gain alternative. Ties break
 // toward the lowest column (VM ID) then lowest row (PM ID), keeping runs
-// deterministic.
+// deterministic. The answer is the root of the gain heap, so extraction is
+// O(1) instead of a scan over all columns.
 func (m *Matrix) Best() (r, c int, gain float64, ok bool) {
-	r, c, gain = -1, -1, 0
-	for col := range m.vms {
-		g := m.bestGain[col]
-		if m.bestRow[col] < 0 {
-			continue
-		}
-		if g > gain {
-			gain, r, c, ok = g, m.bestRow[col], col, true
-		}
+	if len(m.heap) == 0 {
+		return -1, -1, 0, false
 	}
-	return r, c, gain, ok
+	col := m.heap[0]
+	if m.bestRow[col] < 0 || m.bestGain[col] <= 0 {
+		return -1, -1, 0, false
+	}
+	return m.bestRow[col], col, m.bestGain[col], true
 }
 
 // Move is one migration decision produced by Algorithm 1.

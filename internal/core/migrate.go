@@ -46,6 +46,13 @@ func (p Params) Validate() error {
 // Only VMs in the Running state participate: creating and migrating VMs
 // are in transition and queued VMs hold no resources.
 func Consolidate(ctx *Context, factors []Factor, params Params) ([]Move, error) {
+	return ConsolidateWith(ctx, factors, params, MatrixOptions{})
+}
+
+// ConsolidateWith is Consolidate with explicit matrix options; it exists
+// so the kernel-equivalence tests and benchmarks can run Algorithm 1 over
+// both evaluation paths.
+func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixOptions) ([]Move, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,7 +60,7 @@ func Consolidate(ctx *Context, factors []Factor, params Params) ([]Move, error) 
 	if len(vms) == 0 {
 		return nil, nil
 	}
-	m, err := NewMatrix(ctx, factors, vms)
+	m, err := NewMatrixWith(ctx, factors, vms, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,11 +106,20 @@ type Placement struct {
 //
 // This is the paper's arrival path: "if a new VM request arrives, we only
 // calculate the probability in the new VM column and allocate it to the PM
-// with the highest probability".
+// with the highest probability". Callers that only need the argmax should
+// use BestPlacement, which is sort- and allocation-free.
 func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement {
+	pms := ctx.DC.ActivePMs()
+	k, useKernel := newKernel(ctx, factors, pms, []*cluster.VM{vm})
 	var out []Placement
-	for _, pm := range ctx.DC.ActivePMs() {
-		if p := Joint(ctx, factors, vm, pm, false); p > 0 {
+	for r, pm := range pms {
+		var p float64
+		if useKernel {
+			p = k.cell(r, 0, pm, vm, false)
+		} else {
+			p = Joint(ctx, factors, vm, pm, false)
+		}
+		if p > 0 {
 			out = append(out, Placement{PM: pm, Probability: p})
 		}
 	}
@@ -118,11 +134,24 @@ func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement 
 
 // BestPlacement returns the highest-probability PM for vm, or nil when no
 // active PM can host it (the caller then boots a machine or queues the
-// request).
+// request). It is a single argmax pass over the arrival column — no
+// candidate slice, no sort — with ties broken toward the lower PM ID
+// (ActivePMs iterates in ID order), matching RankPlacements' first entry.
 func BestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
-	ranked := RankPlacements(ctx, factors, vm)
-	if len(ranked) == 0 {
-		return nil
+	pms := ctx.DC.ActivePMs()
+	k, useKernel := newKernel(ctx, factors, pms, []*cluster.VM{vm})
+	var best *cluster.PM
+	bestP := 0.0
+	for r, pm := range pms {
+		var p float64
+		if useKernel {
+			p = k.cell(r, 0, pm, vm, false)
+		} else {
+			p = Joint(ctx, factors, vm, pm, false)
+		}
+		if p > bestP {
+			bestP, best = p, pm
+		}
 	}
-	return ranked[0].PM
+	return best
 }

@@ -155,6 +155,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
+	s.pctx = core.NewContext(s.dc)
 	return s.run()
 }
 
@@ -189,6 +190,11 @@ type simulator struct {
 	// holds tracks in-flight timed migrations' source-side reservations.
 	holds map[cluster.VMID]*migrationHold
 
+	// pctx is the evaluation context reused across events so the
+	// per-class constant cache survives between placements and
+	// consolidation passes instead of being rebuilt each time.
+	pctx *core.Context
+
 	spareTarget int
 
 	res         *Result
@@ -199,7 +205,7 @@ type simulator struct {
 }
 
 func (s *simulator) ctx() *core.Context {
-	return &core.Context{DC: s.dc, Now: s.eng.Now()}
+	return s.pctx.At(s.eng.Now())
 }
 
 // logf appends one record to the event log when tracing is enabled.
