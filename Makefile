@@ -2,7 +2,9 @@ GO ?= go
 COUNT ?= 10
 BENCHTIME ?= 300ms
 
-.PHONY: test check vet race bench-kernel bench-paper bench-json
+FUZZTIME ?= 10s
+
+.PHONY: test check vet race audit fuzz-smoke bench-kernel bench-paper bench-json
 
 test:
 	$(GO) test ./...
@@ -13,8 +15,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-## check: the full pre-commit gate — vet plus the race-enabled test suite.
-check: vet race
+## audit: full-trace invariant audit — the seed workload under the dynamic
+## scheme with every event checked and every consolidation Apply verified
+## against a cold matrix rebuild. Exits non-zero on the first violation.
+audit:
+	$(GO) run ./cmd/dvmpsim -audit=event -spare
+
+## fuzz-smoke: a short randomized-operations fuzz budget over the audit
+## harness (internal/audit.FuzzOperations). FUZZTIME=10s by default.
+fuzz-smoke:
+	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
+
+## check: the full pre-commit gate — vet, the race-enabled test suite, the
+## full-trace audit run, and a fuzz smoke test.
+check: vet race audit fuzz-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with

@@ -1,5 +1,6 @@
 // Command benchreport measures the factored evaluation kernel against the
-// pre-kernel code path (frozen in naive.go) on the three hot operations
+// pre-kernel code path (frozen in internal/core/oracle) on the three hot
+// operations
 // of the scheme — probability-matrix build, per-round incremental update,
 // and arrival placement — and records the results as JSON (BENCH_core.json
 // at the repository root, by convention).
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/core/oracle"
 	"repro/internal/vector"
 )
 
@@ -202,8 +204,11 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		return sc, err
 	}
 	nNs, nIt, err := measure(benchtime, func() error {
-		m := newNaiveMatrix(ctx, factors, vms)
-		r, c, g, _ := m.best()
+		m, err := oracle.NewMatrix(ctx, factors, vms)
+		if err != nil {
+			return err
+		}
+		r, c, g, _ := m.Best()
 		naiveBest = [3]float64{float64(r), float64(c), g}
 		return nil
 	})
@@ -244,17 +249,20 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 	}
 	{
 		ctx, vms := benchState(pms, nVMs, seed)
-		m := newNaiveMatrix(ctx, factors, vms)
-		r, c, _, ok := m.best()
+		m, err := oracle.NewMatrix(ctx, factors, vms)
+		if err != nil {
+			return sc, err
+		}
+		r, c, _, ok := m.Best()
 		if !ok {
 			return sc, fmt.Errorf("pms=%d: no positive-gain move in the naive bench state", pms)
 		}
-		origin := m.curRow[c]
+		origin := m.CurRow(c)
 		nNs, nIt, err = measure(benchtime, func() error {
-			if err := m.apply(r, c); err != nil {
+			if err := m.Apply(r, c); err != nil {
 				return err
 			}
-			return m.apply(origin, c)
+			return m.Apply(origin, c)
 		})
 		if err != nil {
 			return sc, err
@@ -279,7 +287,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		var kPM, nPM *cluster.PM
 		kPM = core.BestPlacement(ctx, factors, arrival)
 		nNs, nIt, err = measure(benchtime, func() error {
-			if naiveBestPlacement(ctx, factors, arrival) == nil {
+			if oracle.BestPlacement(ctx, factors, arrival) == nil {
 				return fmt.Errorf("no placement found")
 			}
 			return nil
@@ -287,7 +295,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		if err != nil {
 			return sc, err
 		}
-		nPM = naiveBestPlacement(ctx, factors, arrival)
+		nPM = oracle.BestPlacement(ctx, factors, arrival)
 		if kPM != nPM {
 			return sc, fmt.Errorf("pms=%d: arrival kernel PM %d != naive PM %d", pms, kPM.ID, nPM.ID)
 		}

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/policy"
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		timed     = fs.Bool("timed", false, "use the timed pre-copy migration model")
 		warm      = fs.Int("warm", 0, "power on N machines before the first arrival")
 		logPath   = fs.String("eventlog", "", "write a per-event trace to this file")
+		auditMode = fs.String("audit", "off", "invariant auditing: off, period (each control period), event (after every event)")
 		csvPath   = fs.String("csv", "", "write hourly active/energy series as CSV")
 		verbose   = fs.Bool("v", false, "print the hourly series to stdout")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -123,6 +125,10 @@ func run(args []string, out io.Writer) error {
 		dc = cluster.TableIIFleetScaled(*nodes)
 	}
 	cfg := sim.Config{DC: dc, Placer: placer, Requests: reqs, TimedMigrations: *timed, WarmStart: *warm}
+	cfg.Audit, err = audit.ParseMode(*auditMode)
+	if err != nil {
+		return err
+	}
 	if *useSpare {
 		sc := spare.DefaultConfig()
 		cfg.Spare = &sc
@@ -145,6 +151,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "energy by class: %v kWh\n", res.EnergyByClassKWh)
+	if cfg.Audit != audit.Off {
+		fmt.Fprintf(out, "audit: %d checks passed (mode %s)\n", res.AuditChecks, cfg.Audit)
+	}
 	if res.Failures > 0 {
 		fmt.Fprintf(out, "PM failures injected: %d\n", res.Failures)
 	}

@@ -100,3 +100,18 @@ func TestRunTimedWarmAndEventLog(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAuditFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scheme", "dynamic", "-nodes", "16", "-jobs", "200", "-audit", "event", "-spare"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "checks passed (mode event)") {
+		t.Errorf("output missing audit summary:\n%s", out)
+	}
+	if err := run([]string{"-audit", "nonsense"}, &sb); err == nil {
+		t.Error("bad audit mode accepted")
+	}
+}

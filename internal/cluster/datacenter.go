@@ -237,6 +237,34 @@ func (d *Datacenter) AverageVMsPerPM(fallback float64) float64 {
 	return float64(d.VMCount()) / float64(nonIdle)
 }
 
+// WalkPlacements visits every (PM, hosted VM) pair in deterministic order
+// (PMs by ID, VMs by ID within a PM) and stops at the first error. The
+// audit subsystem and exporters use it to traverse the full mapping
+// without materializing intermediate slices per call site.
+func (d *Datacenter) WalkPlacements(fn func(*PM, *VM) error) error {
+	for _, p := range d.pms {
+		for _, vm := range p.VMs() {
+			if err := fn(p, vm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VMsByState counts the placed VMs per lifecycle state. Only VMs currently
+// occupying a PM appear; queued and finished VMs are not reachable from the
+// datacenter.
+func (d *Datacenter) VMsByState() map[VMState]int {
+	m := make(map[VMState]int)
+	for _, p := range d.pms {
+		for _, vm := range p.vms {
+			m[vm.State]++
+		}
+	}
+	return m
+}
+
 // CheckInvariants validates global consistency: every PM's usage equals the
 // sum of its VM demands and stays within capacity, and no VM appears on two
 // PMs. Tests and the simulator's self-check mode call this.

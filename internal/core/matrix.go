@@ -20,6 +20,7 @@ import (
 type Matrix struct {
 	ctx     *Context
 	factors []Factor
+	opts    MatrixOptions
 
 	// kern is the compiled factored evaluator; nil when the factor list
 	// contains none of the paper's factors (or the kernel is disabled),
@@ -93,6 +94,13 @@ type MatrixOptions struct {
 	// switch exists for equivalence testing and for benchmarking the
 	// kernel against the naive path (cmd/benchreport).
 	DisableKernel bool
+
+	// SelfAudit makes every Apply verify the incrementally maintained
+	// state against a cold rebuild: probabilities, column trackers, and
+	// the heap root must be bit-identical to a fresh NewMatrixWith over
+	// the same VMs. Expensive (one full matrix build per move); the
+	// simulator enables it in -audit=event mode.
+	SelfAudit bool
 }
 
 // NewMatrix builds the probability matrix over the data center's active
@@ -114,6 +122,7 @@ func NewMatrixWith(ctx *Context, factors []Factor, vms []*cluster.VM, opts Matri
 	m := &Matrix{
 		ctx:     ctx,
 		factors: factors,
+		opts:    opts,
 		pms:     ctx.DC.ActivePMs(),
 		rowOf:   make(map[cluster.PMID]int),
 		colOf:   make(map[cluster.VMID]int),
@@ -260,6 +269,17 @@ func (m *Matrix) VM(c int) *cluster.VM { return m.vms[c] }
 func (m *Matrix) RowOf(id cluster.PMID) (int, bool) {
 	r, ok := m.rowOf[id]
 	return r, ok
+}
+
+// CurProb returns column c's normalizer: the joint probability of the
+// VM's current placement.
+func (m *Matrix) CurProb(c int) float64 { return m.curProb[c] }
+
+// BestAlt returns the tracked best non-host row of column c and its
+// normalized gain, or (-1, 0) when no alternative has positive gain. The
+// audit subsystem compares these trackers against the frozen oracle.
+func (m *Matrix) BestAlt(c int) (row int, gain float64) {
+	return m.bestRow[c], m.bestGain[c]
 }
 
 // Normalized returns d_rc = p_rc / p_(current host of c), the column-
@@ -618,7 +638,138 @@ func (m *Matrix) Apply(r, c int) error {
 	vm.Migrations++
 	m.recomputeRow(m.rowOf[from.ID])
 	m.recomputeRow(m.rowOf[to.ID])
+	if m.opts.SelfAudit {
+		if err := m.verifyRebuild(); err != nil {
+			return fmt.Errorf("core: self-audit after moving VM %d to PM %d: %w", vm.ID, to.ID, err)
+		}
+	}
 	return nil
+}
+
+// SelfCheck re-derives every column tracker and the heap shape from the
+// stored probabilities and reports the first divergence. It is the
+// "re-derivable from scratch" half of the audit contract: the incremental
+// maintenance in recomputeRow/refreshColumns must never drift from what a
+// brute-force rescan of m.p computes, including tie-breaks (lowest row,
+// then lowest column) and the +Inf rescue rule for zero normalizers.
+func (m *Matrix) SelfCheck() error {
+	for c, vm := range m.vms {
+		cr, ok := m.rowOf[vm.Host]
+		if !ok {
+			return fmt.Errorf("core: column %d (VM %d) hosted on PM %d outside the matrix", c, vm.ID, vm.Host)
+		}
+		if m.curRow[c] != cr {
+			return fmt.Errorf("core: column %d curRow %d, want %d", c, m.curRow[c], cr)
+		}
+		if m.curProb[c] != m.p[cr][c] {
+			return fmt.Errorf("core: column %d curProb %g, want %g", c, m.curProb[c], m.p[cr][c])
+		}
+		cur := m.curProb[c]
+		bestRow, bestP := -1, 0.0
+		for r := range m.pms {
+			if r == cr {
+				continue
+			}
+			p := m.p[r][c]
+			if cur > 0 {
+				if p > bestP {
+					bestP, bestRow = p, r
+				}
+			} else if p > 0 && bestRow < 0 {
+				bestRow, bestP = r, p
+			}
+		}
+		gain := 0.0
+		switch {
+		case bestRow < 0:
+		case cur > 0:
+			gain = bestP / cur
+		default:
+			gain = math.Inf(1)
+		}
+		if m.bestRow[c] != bestRow || m.bestGain[c] != gain {
+			return fmt.Errorf("core: column %d tracker (row %d, gain %g) != rescan (row %d, gain %g)",
+				c, m.bestRow[c], m.bestGain[c], bestRow, gain)
+		}
+		if bestRow >= 0 && m.bestP[c] != bestP {
+			return fmt.Errorf("core: column %d bestP %g != rescan %g", c, m.bestP[c], bestP)
+		}
+	}
+	if m.heap != nil {
+		if len(m.heap) != len(m.vms) || len(m.hpos) != len(m.vms) {
+			return fmt.Errorf("core: heap size %d != %d columns", len(m.heap), len(m.vms))
+		}
+		for i, c := range m.heap {
+			if c < 0 || c >= len(m.vms) || m.hpos[c] != i {
+				return fmt.Errorf("core: heap position map broken at slot %d (column %d)", i, c)
+			}
+		}
+		for i := 1; i < len(m.heap); i++ {
+			if m.better(m.heap[i], m.heap[(i-1)/2]) {
+				return fmt.Errorf("core: heap property violated at slot %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Diff compares two matrices bit-for-bit: dimensions, row/column
+// identities, every probability, the column trackers, and the Best
+// extraction. A nil return means the matrices are interchangeable for
+// Algorithm 1.
+func (m *Matrix) Diff(o *Matrix) error {
+	if m.Rows() != o.Rows() || m.Cols() != o.Cols() {
+		return fmt.Errorf("core: matrix %dx%d != %dx%d", m.Rows(), m.Cols(), o.Rows(), o.Cols())
+	}
+	for r := range m.pms {
+		if m.pms[r].ID != o.pms[r].ID {
+			return fmt.Errorf("core: row %d is PM %d vs PM %d", r, m.pms[r].ID, o.pms[r].ID)
+		}
+	}
+	for c := range m.vms {
+		if m.vms[c].ID != o.vms[c].ID {
+			return fmt.Errorf("core: column %d is VM %d vs VM %d", c, m.vms[c].ID, o.vms[c].ID)
+		}
+	}
+	for r := range m.pms {
+		for c := range m.vms {
+			if a, b := m.p[r][c], o.p[r][c]; a != b {
+				return fmt.Errorf("core: p[%d][%d] = %v vs %v (PM %d, VM %d)",
+					r, c, a, b, m.pms[r].ID, m.vms[c].ID)
+			}
+		}
+	}
+	for c := range m.vms {
+		if m.curRow[c] != o.curRow[c] || m.curProb[c] != o.curProb[c] {
+			return fmt.Errorf("core: column %d normalizer (row %d, p %g) vs (row %d, p %g)",
+				c, m.curRow[c], m.curProb[c], o.curRow[c], o.curProb[c])
+		}
+		if m.bestRow[c] != o.bestRow[c] || m.bestGain[c] != o.bestGain[c] {
+			return fmt.Errorf("core: column %d best (row %d, gain %g) vs (row %d, gain %g)",
+				c, m.bestRow[c], m.bestGain[c], o.bestRow[c], o.bestGain[c])
+		}
+	}
+	mr, mc, mg, mok := m.Best()
+	or, oc, og, ook := o.Best()
+	if mok != ook || (mok && (mr != or || mc != oc || mg != og)) {
+		return fmt.Errorf("core: Best (%d, %d, %g, %t) vs (%d, %d, %g, %t)", mr, mc, mg, mok, or, oc, og, ook)
+	}
+	return nil
+}
+
+// verifyRebuild checks the live matrix against a cold rebuild over the
+// same VM set (SelfAudit mode).
+func (m *Matrix) verifyRebuild() error {
+	opts := m.opts
+	opts.SelfAudit = false
+	fresh, err := NewMatrixWith(m.ctx, m.factors, m.vms, opts)
+	if err != nil {
+		return fmt.Errorf("core: rebuild failed: %w", err)
+	}
+	if err := m.SelfCheck(); err != nil {
+		return err
+	}
+	return m.Diff(fresh)
 }
 
 // String renders the normalized matrix for debugging, in the layout of the

@@ -84,12 +84,23 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 
 // runningVMs collects the VMs eligible for migration, sorted by ID.
 func runningVMs(dc *cluster.Datacenter) []*cluster.VM {
+	return MigratableVMs(dc)
+}
+
+// MigratableVMs returns the VMs eligible for Algorithm 1 — state Running;
+// creating and migrating VMs are in transition and queued VMs hold no
+// resources — sorted by ID. The sort is explicit rather than inherited
+// from dc.RunningVMs(): Algorithm 1's tie-breaks are ID-ordered, so the
+// column order must hold by construction here, not by the accident of an
+// upstream implementation detail (the determinism tests assert it).
+func MigratableVMs(dc *cluster.Datacenter) []*cluster.VM {
 	var out []*cluster.VM
 	for _, vm := range dc.RunningVMs() {
 		if vm.State == cluster.VMRunning {
 			out = append(out, vm)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -1,0 +1,117 @@
+package nhpp
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(b)) }
+
+// A burst of arrivals in the first instants of a run used to extrapolate to
+// an absurd homogeneous rate: 2 arrivals by t=1ms divided by latest=1ms is
+// 2000 arrivals per second. The warm-up fallback now clamps the observed
+// span to period/24, so early estimates stay sane.
+func TestWarmupFallbackClampsTinySpan(t *testing.T) {
+	e := New(86400)
+	e.Observe(0.0005)
+	e.Observe(0.001)
+
+	got := e.CumulativeIntensity(0, 3600)
+	want := 2.0 / (86400.0 / 24) * 3600 // rate over the clamped span
+	if !almost(got, want) {
+		t.Fatalf("clamped warm-up estimate = %g, want %g", got, want)
+	}
+	if got > 10 {
+		t.Fatalf("warm-up estimate %g blew up on a tiny observed span", got)
+	}
+}
+
+// Once the observed span clears the clamp the fallback must be the plain
+// observed rate, unchanged from before the fix.
+func TestWarmupFallbackUsesObservedSpanWhenLongEnough(t *testing.T) {
+	e := New(86400)
+	for _, at := range []float64{1000, 2000, 3000, 4000} {
+		e.Observe(at)
+	}
+	// latest = 4000 > 86400/24 = 3600, so no clamping.
+	got := e.CumulativeIntensity(0, 8000)
+	want := 4.0 / 4000 * 8000
+	if !almost(got, want) {
+		t.Fatalf("warm-up estimate = %g, want %g", got, want)
+	}
+}
+
+// fourPerCycle builds an estimator with k complete cycles of period 100 and
+// arrivals at phases 10, 30, 60, 90 in each.
+func fourPerCycle(k int) *Estimator {
+	e := New(100)
+	for c := 0; c < k; c++ {
+		base := float64(c) * 100
+		for _, p := range []float64{10, 30, 60, 90} {
+			e.Observe(base + p)
+		}
+	}
+	e.Advance(float64(k) * 100)
+	return e
+}
+
+// An interval spanning exactly one period must return the full cycle mass
+// regardless of where it starts: the whole-cycle shortcut and the residual
+// path have to agree at the length == period boundary.
+func TestIntervalExactlyOnePeriod(t *testing.T) {
+	e := fourPerCycle(2)
+	mass := e.CycleMass()
+	if mass <= 0 {
+		t.Fatal("no cycle mass learned")
+	}
+	for _, from := range []float64{0, 10, 37.5, 90, 99.999} {
+		got := e.CumulativeIntensity(from, from+100)
+		if !almost(got, mass) {
+			t.Errorf("Λ̂[%g, %g) = %g, want full cycle mass %g", from, from+100, got, mass)
+		}
+	}
+}
+
+// A residual interval that ends exactly at the cycle boundary (p1 ==
+// period) must take the non-wrapping branch and equal the tail mass; the
+// same interval computed via the complement must agree.
+func TestResidualEndsExactlyAtCycleBoundary(t *testing.T) {
+	e := fourPerCycle(3)
+	mass := e.CycleMass()
+	tail := e.CumulativeIntensity(60, 100) // p1 == period exactly
+	head := e.CumulativeIntensity(0, 60)
+	if !almost(head+tail, mass) {
+		t.Fatalf("Λ̂[0,60) + Λ̂[60,100) = %g + %g != cycle mass %g", head, tail, mass)
+	}
+	// Crossing the boundary by an epsilon must be continuous with the
+	// exact-boundary case.
+	cross := e.CumulativeIntensity(60, 100+1e-9)
+	if math.Abs(cross-tail) > 1e-6 {
+		t.Fatalf("Λ̂[60, 100+ε) = %g jumps from Λ̂[60, 100) = %g at the wrap", cross, tail)
+	}
+}
+
+// Arrivals in the incomplete trailing cycle must not contribute to the
+// folded estimate (they belong to a cycle that has not finished), but
+// queries starting inside that trailing cycle still answer from the learned
+// shape.
+func TestFromInIncompleteTrailingCycle(t *testing.T) {
+	e := fourPerCycle(2)
+	// Partial third cycle: a burst that would distort the estimate were
+	// it folded in.
+	for i := 0; i < 50; i++ {
+		e.Observe(200 + float64(i)*0.1)
+	}
+	e.Advance(230) // 2 complete cycles + 30s of the third
+
+	mass := e.CycleMass()
+	if want := (4.0*2 + 1) / 2; !almost(mass, want) {
+		t.Fatalf("cycle mass = %g, want %g (trailing-cycle burst leaked in)", mass, want)
+	}
+	// Query starting mid-trailing-cycle: phases fold onto [30, 80).
+	got := e.CumulativeIntensity(230, 280)
+	want := e.CumulativeIntensity(30, 80)
+	if !almost(got, want) {
+		t.Fatalf("Λ̂[230, 280) = %g != folded Λ̂[30, 80) = %g", got, want)
+	}
+}

@@ -166,11 +166,20 @@ func (e *Estimator) CumulativeIntensity(from, to float64) float64 {
 	}
 	k := e.completeCycles()
 	if k == 0 {
-		// Warm-up: homogeneous-rate fallback over the observed span.
+		// Warm-up: homogeneous-rate fallback over the observed span. The
+		// span is clamped from below: a burst of arrivals in the first few
+		// seconds would otherwise divide by a tiny e.latest and report an
+		// absurd rate (two arrivals at t=1ms extrapolate to 2000/s). One
+		// twenty-fourth of a period — an "hour" of a daily cycle — is the
+		// shortest window we trust a rate estimate from.
 		if e.latest <= 0 || len(e.arrivals) == 0 {
 			return 0
 		}
-		rate := float64(len(e.arrivals)) / e.latest
+		span := e.latest
+		if min := e.period / 24; span < min {
+			span = min
+		}
+		rate := float64(len(e.arrivals)) / span
 		return rate * (to - from)
 	}
 	e.rebuild(k)

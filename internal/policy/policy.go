@@ -156,6 +156,11 @@ type Dynamic struct {
 	// Params are the MIG_threshold / MIG_round knobs.
 	Params core.Params
 
+	// Opts tunes matrix evaluation. The audit subsystem sets SelfAudit
+	// here so every consolidation Apply verifies the incremental
+	// trackers against a cold rebuild.
+	Opts core.MatrixOptions
+
 	// label overrides Name for ablation variants.
 	label string
 }
@@ -187,6 +192,11 @@ func (d *Dynamic) factors() []core.Factor {
 	return core.DefaultFactors()
 }
 
+// FactorSet returns the factors the scheme evaluates (the defaults when
+// none were set). The audit subsystem uses it to build reference matrices
+// with exactly the scheme's factor composition.
+func (d *Dynamic) FactorSet() []core.Factor { return d.factors() }
+
 // Place implements Placer. When every joint probability is zero — which
 // happens for ultra-short requests whose estimated runtime is below even
 // the creation overhead, zeroing p_vir everywhere — the request still has
@@ -202,7 +212,7 @@ func (d *Dynamic) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 
 // Consolidate implements Placer.
 func (d *Dynamic) Consolidate(ctx *core.Context) ([]core.Move, error) {
-	return core.Consolidate(ctx, d.factors(), d.Params)
+	return core.ConsolidateWith(ctx, d.factors(), d.Params, d.Opts)
 }
 
 // ByName constructs a scheme from its report name; seed feeds the Random

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/failure"
@@ -66,8 +67,19 @@ type Config struct {
 	EventLog io.Writer
 
 	// CheckInvariants validates the full datacenter state after every
-	// event; slow, meant for tests.
+	// event; slow, meant for tests. Predates the audit subsystem and
+	// kept independent of it: audit.Off with CheckInvariants still
+	// works.
 	CheckInvariants bool
+
+	// Audit selects the invariant auditor's granularity
+	// (internal/audit): Off disables it, Period runs every check at
+	// control-period boundaries, Event additionally runs the cheap
+	// checks after every event and turns on the matrix self-audit
+	// (every consolidation Apply verified against a cold rebuild) when
+	// the placer is *policy.Dynamic. The first violation aborts the run
+	// with a descriptive error.
+	Audit audit.Mode
 }
 
 func (c *Config) setDefaults() error {
@@ -146,6 +158,11 @@ type Result struct {
 	// PMEnergyKWh is each PM's total energy over the run, for
 	// per-region billing and placement analyses.
 	PMEnergyKWh map[cluster.PMID]float64
+
+	// AuditChecks counts the invariant-check executions performed when
+	// auditing was enabled (0 with Audit == audit.Off); a successful
+	// audited run ran this many checks with zero violations.
+	AuditChecks int
 }
 
 // Run executes the simulation to completion (all requests finished) and
@@ -197,6 +214,13 @@ type simulator struct {
 
 	spareTarget int
 
+	// aud is the invariant auditor (nil when cfg.Audit == audit.Off);
+	// arrived feeds its conservation ledger and tickRan marks that a
+	// control tick fired so the per-period checks run after it.
+	aud     *audit.Auditor
+	arrived int
+	tickRan bool
+
 	res         *Result
 	waits       []float64
 	queuedCount int
@@ -236,6 +260,7 @@ func (s *simulator) run() (*Result, error) {
 	if s.cfg.Failures.Enabled() {
 		s.inj = failure.NewInjector(s.cfg.Failures)
 	}
+	s.setupAudit()
 
 	for i, pm := range s.bootCandidates() {
 		if i >= s.cfg.WarmStart {
@@ -274,6 +299,21 @@ func (s *simulator) run() (*Result, error) {
 				break
 			}
 		}
+		if s.aud != nil {
+			var auditErr error
+			if s.tickRan {
+				// A control tick just fired: run the full set,
+				// including the per-period oracle differential.
+				s.tickRan = false
+				auditErr = s.aud.RunPeriod(s.eng.Now())
+			} else if s.cfg.Audit == audit.Event {
+				auditErr = s.aud.RunEvent(s.eng.Now())
+			}
+			if auditErr != nil {
+				simErr = fmt.Errorf("sim: %w", auditErr)
+				break
+			}
+		}
 	}
 	if simErr != nil {
 		return nil, simErr
@@ -282,8 +322,45 @@ func (s *simulator) run() (*Result, error) {
 		return nil, fmt.Errorf("sim: %d requests still queued at drain (no capacity ever became available)", len(s.queue))
 	}
 	s.meter.Advance(s.eng.Now())
+	if s.aud != nil {
+		// Final sweep over the drained state.
+		if err := s.aud.RunPeriod(s.eng.Now()); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.res.AuditChecks = s.aud.Checks()
+	}
 	s.finalizeResult()
 	return s.res, nil
+}
+
+// setupAudit registers the invariant checks matching the run's
+// configuration. In Event mode with the dynamic scheme the matrix
+// self-audit is also switched on, so every consolidation Apply verifies
+// its incremental trackers against a cold rebuild.
+func (s *simulator) setupAudit() {
+	if s.cfg.Audit == audit.Off {
+		return
+	}
+	s.aud = &audit.Auditor{}
+	s.aud.Register(audit.StateCheck(s.dc))
+	s.aud.Register(audit.EnergyCheck(s.meter, s.dc))
+	s.aud.Register(audit.ConservationCheck(s.dc, func() (arrived, queued, finished, rejected int) {
+		return s.arrived, len(s.queue), s.res.Summary.VMsCompleted, s.res.Summary.Rejected
+	}))
+	if s.cfg.Spare != nil {
+		s.aud.Register(audit.SpareCheck(*s.cfg.Spare, s.dc, func() *spare.Plan {
+			if n := len(s.res.SparePlans); n > 0 {
+				return &s.res.SparePlans[n-1]
+			}
+			return nil
+		}))
+	}
+	if d, ok := s.cfg.Placer.(*policy.Dynamic); ok {
+		s.aud.Register(audit.TrackerCheck(s.pctx, d.FactorSet()))
+		if s.cfg.Audit == audit.Event {
+			d.Opts.SelfAudit = true
+		}
+	}
 }
 
 func (s *simulator) scheduleControlTick(at float64) {
@@ -294,6 +371,7 @@ func (s *simulator) scheduleControlTick(at float64) {
 
 func (s *simulator) onArrival(id cluster.VMID, req workload.Request) {
 	now := s.eng.Now()
+	s.arrived++
 	s.meter.Advance(now)
 	if s.ctrl != nil {
 		s.ctrl.RecordArrival(now)
@@ -504,10 +582,13 @@ func (s *simulator) onControlTick() {
 	s.drainQueue()
 	s.powerManage()
 
-	// Keep ticking while there is anything left to simulate.
+	// Keep ticking while there is anything left to simulate. Pending
+	// counts live events only, so a backlog of cancelled timers cannot
+	// keep the tick chain alive.
 	if s.eng.Pending() > 0 || len(s.queue) > 0 {
 		s.scheduleControlTick(now + s.cfg.ControlPeriod)
 	}
+	s.tickRan = true
 }
 
 func (s *simulator) onFailure(pm *cluster.PM) {

@@ -21,15 +21,29 @@ type Event struct {
 	seq      uint64
 	fire     func()
 	canceled bool
-	index    int // heap index, -1 once removed
+	index    int     // heap index, -1 once removed
+	owner    *Engine // engine whose heap holds the event
 }
 
 // Time returns the simulation time the event is scheduled for.
 func (e *Event) Time() float64 { return e.time }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// already-cancelled event is a no-op. The event's heap slot is reclaimed
+// lazily: the engine counts cancelled residents and compacts the heap once
+// they dominate it, so long runs that cancel many departures or failure
+// timers (which can sit days in the simulated future) do not grow the heap
+// without bound.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.owner != nil && e.index >= 0 {
+		e.owner.canceledPending++
+		e.owner.maybeReap()
+	}
+}
 
 // Canceled reports whether the event was cancelled.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -69,6 +83,10 @@ type Engine struct {
 	seq        uint64
 	events     eventHeap
 	dispatched uint64
+
+	// canceledPending counts cancelled events still resident in the heap;
+	// Pending subtracts it and maybeReap compacts when it dominates.
+	canceledPending int
 }
 
 // Now returns the current simulation time in seconds.
@@ -77,9 +95,12 @@ func (e *Engine) Now() float64 { return e.now }
 // Dispatched returns the number of events fired so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet reaped).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live (non-cancelled) events still queued.
+// Cancelled events awaiting lazy reaping are not counted: callers use
+// Pending to decide whether anything remains to simulate, and a backlog of
+// dead timers (e.g. disarmed failure events scheduled days ahead) must not
+// keep a simulation alive.
+func (e *Engine) Pending() int { return len(e.events) - e.canceledPending }
 
 // Schedule queues fire to run at absolute time at. Scheduling in the past
 // is a programming error and panics: a DES that silently reorders time
@@ -94,7 +115,7 @@ func (e *Engine) Schedule(at float64, fire func()) *Event {
 	if fire == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{time: at, seq: e.seq, fire: fire}
+	ev := &Event{time: at, seq: e.seq, fire: fire, owner: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -110,6 +131,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.canceledPending--
 			continue
 		}
 		e.now = ev.time
@@ -154,6 +176,38 @@ func (e *Engine) peek() *Event {
 			return head
 		}
 		heap.Pop(&e.events)
+		e.canceledPending--
 	}
 	return nil
+}
+
+// reapMinCancelled is the lazy-reap floor: compaction is worthwhile only
+// once enough dead events have accumulated to amortize the O(n) rebuild.
+const reapMinCancelled = 64
+
+// maybeReap compacts the heap when cancelled events make up at least half
+// of it (and clear the floor). Each reap halves the heap at minimum, so the
+// amortized cost per cancellation is O(log n) — the heap can no longer grow
+// proportionally to the number of cancellations in a long run.
+func (e *Engine) maybeReap() {
+	if e.canceledPending < reapMinCancelled || 2*e.canceledPending < len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil // release the dead tail for GC
+	}
+	e.events = live
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
+	e.canceledPending = 0
 }

@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	var e Engine
+	evs := make([]*Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() {})
+	}
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 7; i++ {
+		evs[i].Cancel()
+	}
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending after 7 cancels = %d, want 3", got)
+	}
+	// Double-cancel must not double-count.
+	evs[0].Cancel()
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending after double-cancel = %d, want 3", got)
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+func TestCancelledEventsAreReaped(t *testing.T) {
+	var e Engine
+	// One far-future live event, then a pile of cancelled ones: the old
+	// implementation kept every cancelled timer resident until the heap
+	// drained past it.
+	e.Schedule(1e9, func() {})
+	var evs []*Event
+	for i := 0; i < 500; i++ {
+		evs = append(evs, e.Schedule(1e6+float64(i), func() {}))
+	}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	if n := len(e.events); n >= 500 {
+		t.Fatalf("heap still holds %d events after cancelling 500; reap never ran", n)
+	}
+	if e.canceledPending < 0 {
+		t.Fatalf("canceledPending = %d went negative", e.canceledPending)
+	}
+	// The surviving heap must still dispatch correctly.
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 1e9 {
+		t.Fatalf("Now = %g, want 1e9", e.Now())
+	}
+}
+
+func TestReapPreservesDispatchOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	var cancelled []*Event
+	// Interleave live and to-be-cancelled events so the reap's heap
+	// rebuild has real work to do.
+	for i := 0; i < 300; i++ {
+		i := i
+		if i%3 == 0 {
+			e.Schedule(float64(1000-i), func() { order = append(order, 1000-i) })
+		} else {
+			cancelled = append(cancelled, e.Schedule(float64(2000+i), func() { t.Error("cancelled event fired") }))
+		}
+	}
+	for _, ev := range cancelled {
+		ev.Cancel()
+	}
+	e.Run()
+	if len(order) != 100 {
+		t.Fatalf("fired %d live events, want 100", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("out-of-order dispatch after reap: %d before %d", order[i-1], order[i])
+		}
+	}
+}
+
+func TestReapKeepsRunUntilSemantics(t *testing.T) {
+	var e Engine
+	fired := 0
+	for i := 0; i < 200; i++ {
+		ev := e.Schedule(float64(i), func() { t.Error("cancelled event fired") })
+		ev.Cancel()
+	}
+	e.Schedule(500, func() { fired++ })
+	e.Schedule(1500, func() { fired++ })
+	e.RunUntil(1000)
+	if fired != 1 {
+		t.Fatalf("fired %d events by t=1000, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+}

@@ -245,3 +245,28 @@ func TestChurnAwareNoCompletionsFallsBack(t *testing.T) {
 		t.Error("negative runtime recorded")
 	}
 }
+
+func TestPlanDeparturesExceedArrivals(t *testing.T) {
+	// Both sides of Eq. 8 non-zero, departures larger: a modest arrival
+	// rate (so n_arrival > 0) against a fleet full of imminently
+	// finishing VMs. The negative difference must clamp to zero spares,
+	// never underflow into booting machines for demand that is shrinking.
+	c := NewController(DefaultConfig())
+	for i := 0; i < 24*4; i++ { // 4 arrivals/hour for a day
+		c.RecordArrival(float64(i) * 900)
+	}
+	dc := testDC()
+	for i := cluster.VMID(0); i < 30; i++ {
+		runVM(t, dc, cluster.PMID(i%5), i, 0, 600) // all depart within T
+	}
+	p := c.PlanSpares(86400, dc)
+	if p.NArrival <= 0 {
+		t.Fatalf("NArrival = %d, want positive (test needs both sides live)", p.NArrival)
+	}
+	if p.NDeparture <= p.NArrival {
+		t.Fatalf("NDeparture %d not above NArrival %d; fixture broken", p.NDeparture, p.NArrival)
+	}
+	if p.Spares != 0 {
+		t.Errorf("spares = %d, want 0 when departures dominate", p.Spares)
+	}
+}
