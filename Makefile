@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit fuzz-smoke bench-kernel bench-paper bench-json
+.PHONY: test check vet race audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json
 
 test:
 	$(GO) test ./...
@@ -26,9 +26,17 @@ audit:
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
 
-## check: the full pre-commit gate — vet, the race-enabled test suite, the
-## full-trace audit run, and a fuzz smoke test.
-check: vet race audit fuzz-smoke
+## bench-smoke: run every Kernel* micro-benchmark exactly once. Not a
+## measurement — a liveness gate: benchmarks bit-rot silently because
+## `go test` never executes them, so check runs each for one iteration.
+bench-smoke:
+	$(GO) test ./internal/core -run '^$$' -bench '^BenchmarkKernel' -benchtime 1x
+
+## check: the full pre-commit gate — vet, the race-enabled test suite
+## (covers the lock-free metrics hot path and the parallel experiment
+## harness), the full-trace audit run, a fuzz smoke test, and a
+## one-iteration pass over the kernel benchmarks.
+check: vet race audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with

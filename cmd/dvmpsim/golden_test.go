@@ -39,7 +39,7 @@ func TestGoldenCSV(t *testing.T) {
 	}
 	csv := filepath.Join(dir, "out.csv")
 	var sb strings.Builder
-	err := run([]string{"-trace", trace, "-scheme", "dynamic", "-nodes", "8", "-csv", csv}, &sb)
+	err := run([]string{"-swf", trace, "-scheme", "dynamic", "-nodes", "8", "-csv", csv}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	dvmpsim [-scheme dynamic] [-trace lpc.swf] [-seed 1] [-spare]
+//	dvmpsim [-scheme dynamic] [-swf lpc.swf] [-seed 1] [-spare]
 //	        [-nodes 100] [-csv out.csv] [-v]
+//	        [-trace run.jsonl] [-metrics run.metrics.json]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole run for `go tool pprof`; the placement hot path (matrix build
 // and per-round refresh) is where the samples land under -scheme dynamic.
 //
-// Without -trace a synthetic week calibrated to the paper's Figure 2 is
-// generated from -seed. With -trace, the file is parsed as Standard
+// -trace writes the structured JSONL run trace (one schema-versioned
+// event per line: arrivals, placements, migrations, boots, failures,
+// spare plans — see internal/obs and DESIGN.md §9); summarize or diff it
+// with cmd/tracestat. -metrics dumps the run's metrics registry (event
+// counters, queue-wait histogram, per-phase wall-clock timings) as JSON.
+// Two runs with the same flags produce byte-identical traces once the
+// wall-clock field is stripped (`tracestat -diff` does this).
+//
+// Without -swf a synthetic week calibrated to the paper's Figure 2 is
+// generated from -seed. With -swf, the file is parsed as Standard
 // Workload Format (so the original LPC log from the Parallel Workloads
 // Archive can be used directly), filtered, and normalized per Section V.A.
 package main
@@ -30,6 +39,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/spare"
@@ -47,7 +57,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dvmpsim", flag.ContinueOnError)
 	var (
 		scheme    = fs.String("scheme", "dynamic", "placement scheme: first-fit, best-fit, worst-fit, random, dynamic")
-		tracePath = fs.String("trace", "", "SWF trace file (default: synthetic week from -seed)")
+		swfPath   = fs.String("swf", "", "SWF workload file (default: synthetic week from -seed)")
+		tracePath = fs.String("trace", "", "write the structured JSONL run trace to this file")
+		metrPath  = fs.String("metrics", "", "write the run's metrics registry as JSON to this file")
 		seed      = fs.Int64("seed", 1, "workload / random-scheme seed")
 		useSpare  = fs.Bool("spare", false, "enable the spare-server controller (Section IV)")
 		nodes     = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
@@ -97,8 +109,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var jobs []workload.Job
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
 		if err != nil {
 			return err
 		}
@@ -142,9 +154,53 @@ func run(args []string, out io.Writer) error {
 		cfg.EventLog = bufio.NewWriter(lf)
 		defer cfg.EventLog.(*bufio.Writer).Flush()
 	}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *tracePath != "" || *metrPath != "" {
+		cfg.Obs = obs.New()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			traceBuf = bufio.NewWriterSize(f, 1<<16)
+			cfg.Obs.Trace = obs.NewTracer(traceBuf)
+		}
+	}
 	res, err := sim.Run(cfg)
+	if traceFile != nil {
+		// Flush and close even on a failed run: a trace that ends at an
+		// audit violation is exactly what you want to inspect.
+		if ferr := traceBuf.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if terr := cfg.Obs.Trace.Err(); terr != nil && err == nil {
+			err = terr
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(out, "trace: %d events written to %s\n", cfg.Obs.Trace.Events(), *tracePath)
+	}
+	if *metrPath != "" {
+		f, err := os.Create(*metrPath)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Obs.Reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics: %s\n", *metrPath)
 	}
 
 	if err := metrics.WriteSummaries(out, []metrics.Summary{res.Summary}); err != nil {
@@ -162,6 +218,12 @@ func run(args []string, out io.Writer) error {
 	if *verbose {
 		if err := table.WriteText(out); err != nil {
 			return err
+		}
+		if cfg.Obs != nil {
+			fmt.Fprintln(out, "-- run metrics --")
+			if err := cfg.Obs.Reg.WriteText(out); err != nil {
+				return err
+			}
 		}
 	}
 	if *csvPath != "" {

@@ -58,7 +58,7 @@ func TestRunSWFTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run([]string{"-trace", swf, "-scheme", "dynamic", "-nodes", "4"}, &sb); err != nil {
+	if err := run([]string{"-swf", swf, "-scheme", "dynamic", "-nodes", "4"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "2 jobs -> 3 single-core VM requests") {
@@ -71,8 +71,12 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-scheme", "nope"}, &sb); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run([]string{"-trace", "/nonexistent/file.swf"}, &sb); err == nil {
-		t.Error("missing trace accepted")
+	if err := run([]string{"-swf", "/nonexistent/file.swf"}, &sb); err == nil {
+		t.Error("missing SWF workload accepted")
+	}
+	if err := run([]string{"-scheme", "first-fit", "-nodes", "4", "-jobs", "10",
+		"-trace", "/nonexistent/dir/run.jsonl"}, &sb); err == nil {
+		t.Error("unwritable trace path accepted")
 	}
 	if err := run([]string{"-badflag"}, &sb); err == nil {
 		t.Error("bad flag accepted")

@@ -5,22 +5,31 @@
 // Usage:
 //
 //	experiments [-run all|table2|fig2|fig3|fig4|fig5|ablation] [-seed 1] [-out DIR]
+//	            [-obs DIR]
 //
 // Text renderings go to stdout; with -out, each figure's data is also
-// written as CSV for plotting. The reproduced numbers are recorded in
-// EXPERIMENTS.md alongside the paper's.
+// written as CSV for plotting. With -obs, every scheme in the week
+// comparison gets its own observability sink: DIR/<scheme>.trace.jsonl
+// (the structured run trace, see cmd/tracestat) and
+// DIR/<scheme>.metrics.json (counters, histograms, phase timings). Each
+// run gets a private sink even though schemes execute in parallel. The
+// reproduced numbers are recorded in EXPERIMENTS.md alongside the
+// paper's.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plot"
 )
 
@@ -38,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		seed   = fs.Int64("seed", 1, "workload seed")
 		seeds  = fs.Int("seeds", 5, "seed count for -run seeds")
 		outDir = fs.String("out", "", "directory for CSV output (optional)")
+		obsDir = fs.String("obs", "", "directory for per-scheme trace + metrics output of the week comparison (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,14 +78,31 @@ func run(args []string, out io.Writer) error {
 
 	var runs []*exp.SchemeRun
 	if wantsComparison {
+		opts := exp.DefaultOptions(*seed)
+		var sinks *obsSinks
+		if *obsDir != "" {
+			var err error
+			if sinks, err = newObsSinks(*obsDir); err != nil {
+				return err
+			}
+			opts.Observe = sinks.observer
+		}
 		fmt.Fprintf(out, "running week comparison (seed %d, schemes in parallel) ... ", *seed)
 		start := time.Now()
 		var err error
-		runs, err = exp.ParallelComparison(exp.DefaultOptions(*seed))
+		runs, err = exp.ParallelComparison(opts)
 		if err != nil {
+			if sinks != nil {
+				sinks.finish(nil, io.Discard)
+			}
 			return err
 		}
 		fmt.Fprintf(out, "done in %s\n\n", time.Since(start).Round(time.Millisecond))
+		if sinks != nil {
+			if err := sinks.finish(runs, out); err != nil {
+				return err
+			}
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, "results.json")
 			f, err := os.Create(path)
@@ -263,4 +290,86 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "(%s)\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// obsSinks hands each comparison run a private Observer whose trace
+// streams to DIR/<scheme>.trace.jsonl. The harness runs schemes in
+// parallel, so observer() must be safe for concurrent calls and every
+// run must get its own registry — a shared one would pool counters
+// across schemes.
+type obsSinks struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+	bufs  map[string]*bufio.Writer
+	err   error
+}
+
+func newObsSinks(dir string) (*obsSinks, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &obsSinks{dir: dir, files: map[string]*os.File{}, bufs: map[string]*bufio.Writer{}}, nil
+}
+
+func (s *obsSinks) observer(scheme string) *obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Create(filepath.Join(s.dir, scheme+".trace.jsonl"))
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return obs.New() // metrics-only fallback; the failure surfaces in finish
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	s.files[scheme] = f
+	s.bufs[scheme] = w
+	return obs.NewTracing(w)
+}
+
+// finish flushes and closes every trace and writes each run's metrics
+// registry next to it. Call after the comparison completes (runs may be
+// nil on error — files still get closed).
+func (s *obsSinks) finish(runs []*exp.SchemeRun, out io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.err
+	for scheme, w := range s.bufs {
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := s.files[scheme].Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, r := range runs {
+		if r.Obs == nil || r.Obs.Reg == nil {
+			continue
+		}
+		if terr := r.Obs.Trace.Err(); terr != nil && err == nil {
+			err = terr
+		}
+		path := filepath.Join(s.dir, r.Scheme+".metrics.json")
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			continue
+		}
+		if werr := r.Obs.Reg.WriteJSON(f); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		fmt.Fprintf(out, "obs: %-10s trace=%s metrics=%s\n",
+			r.Scheme, filepath.Join(s.dir, r.Scheme+".trace.jsonl"), path)
+	}
+	if err == nil && runs != nil {
+		fmt.Fprintln(out)
+	}
+	return err
 }

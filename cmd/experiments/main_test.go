@@ -67,6 +67,43 @@ func TestRunFig3CSV(t *testing.T) {
 	}
 }
 
+// TestRunFig3Obs checks the -obs fan-out: every scheme of the parallel
+// comparison must get its own non-empty trace and metrics file, and the
+// per-run metrics must be isolated (each trace carries exactly one
+// run_start, for its own scheme).
+func TestRunFig3Obs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full week comparison skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3", "-obs", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"first-fit", "best-fit", "dynamic"} {
+		trace, err := os.ReadFile(filepath.Join(dir, scheme+".trace.jsonl"))
+		if err != nil {
+			t.Fatalf("%s trace missing: %v", scheme, err)
+		}
+		if n := strings.Count(string(trace), `"event":"run_start"`); n != 1 {
+			t.Errorf("%s trace has %d run_start events, want 1 (runs not isolated?)", scheme, n)
+		}
+		if !strings.Contains(string(trace), `"scheme":"`+scheme+`"`) {
+			t.Errorf("%s trace does not name its own scheme", scheme)
+		}
+		metr, err := os.ReadFile(filepath.Join(dir, scheme+".metrics.json"))
+		if err != nil {
+			t.Fatalf("%s metrics missing: %v", scheme, err)
+		}
+		if !strings.Contains(string(metr), "sim.arrivals") {
+			t.Errorf("%s metrics missing sim.arrivals:\n%s", scheme, metr)
+		}
+	}
+	if !strings.Contains(sb.String(), "obs: ") {
+		t.Errorf("stdout missing obs file listing:\n%s", sb.String())
+	}
+}
+
 func TestRunFig5SVG(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full week comparison skipped in -short mode")

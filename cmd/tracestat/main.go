@@ -1,0 +1,255 @@
+// Command tracestat summarizes and compares the structured JSONL run
+// traces that `dvmpsim -trace` (and the experiment harness's -obs mode)
+// emit.
+//
+// Usage:
+//
+//	tracestat run.jsonl             summarize one trace
+//	tracestat -hours run.jsonl      add the per-hour activity table
+//	tracestat -diff a.jsonl b.jsonl compare two traces, ignoring wall clocks
+//
+// The summary reports per-event-type counts, the run header/footer, and
+// migration statistics (count, mean gain, busiest hour). The per-hour
+// table buckets arrivals, departures, migrations, boots, shutdowns, and
+// failures by simulation hour — the operational view related placement
+// studies evaluate schemes on.
+//
+// -diff strips every line's wall-clock field (the only nondeterministic
+// part of a trace) and then requires the two traces to be byte-identical;
+// the first divergence is printed and the exit status is nonzero. Two
+// same-seed runs of the same binary must pass this — it is the CLI face
+// of the repo's determinism guarantee.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+// event is the decoded union of every trace event's fields; absent fields
+// stay zero. Unknown fields are ignored, so newer schema versions still
+// summarize.
+type event struct {
+	V     int     `json:"v"`
+	Seq   uint64  `json:"seq"`
+	T     float64 `json:"t"`
+	Event string  `json:"event"`
+
+	VM     int64   `json:"vm"`
+	PM     int64   `json:"pm"`
+	From   int64   `json:"from"`
+	To     int64   `json:"to"`
+	Gain   float64 `json:"gain"`
+	Round  int64   `json:"round"`
+	Spares int64   `json:"spares"`
+
+	Scheme     string `json:"scheme"`
+	Requests   int64  `json:"requests"`
+	PMs        int64  `json:"pms"`
+	Completed  int64  `json:"completed"`
+	Migrations int64  `json:"migrations"`
+	Error      string `json:"error"`
+}
+
+func run(args []string, out io.Writer) error {
+	diff := false
+	hours := false
+	var paths []string
+	for _, a := range args {
+		switch a {
+		case "-diff", "--diff":
+			diff = true
+		case "-hours", "--hours":
+			hours = true
+		default:
+			if len(a) > 0 && a[0] == '-' {
+				return fmt.Errorf("unknown flag %q (want -diff or -hours)", a)
+			}
+			paths = append(paths, a)
+		}
+	}
+	if diff {
+		if len(paths) != 2 {
+			return fmt.Errorf("-diff needs exactly two trace files, got %d", len(paths))
+		}
+		return diffTraces(paths[0], paths[1], out)
+	}
+	if len(paths) != 1 {
+		return fmt.Errorf("usage: tracestat [-hours] trace.jsonl | tracestat -diff a.jsonl b.jsonl")
+	}
+	return summarize(paths[0], hours, out)
+}
+
+func readEvents(path string) ([]event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var evs []event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+func summarize(path string, hours bool, out io.Writer) error {
+	evs, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+
+	counts := map[string]int{}
+	byHour := map[int]map[string]int{}
+	var migGainSum float64
+	var migs int
+	lastT := 0.0
+	for _, ev := range evs {
+		counts[ev.Event]++
+		if ev.T > lastT {
+			lastT = ev.T
+		}
+		h := int(ev.T / 3600)
+		if byHour[h] == nil {
+			byHour[h] = map[string]int{}
+		}
+		byHour[h][ev.Event]++
+		if ev.Event == "migration" {
+			migs++
+			migGainSum += ev.Gain
+		}
+	}
+
+	fmt.Fprintf(out, "trace: %s — %d events, %.1f simulated hours (schema v%d)\n",
+		path, len(evs), lastT/3600, evs[0].V)
+	if evs[0].Event == "run_start" {
+		fmt.Fprintf(out, "run: scheme=%s pms=%d requests=%d\n", evs[0].Scheme, evs[0].PMs, evs[0].Requests)
+	}
+	if last := evs[len(evs)-1]; last.Event == "run_end" {
+		fmt.Fprintf(out, "end: completed=%d migrations=%d\n", last.Completed, last.Migrations)
+	}
+
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	fmt.Fprintln(out, "event counts:")
+	for _, t := range types {
+		fmt.Fprintf(out, "  %-16s %8d\n", t, counts[t])
+	}
+	if migs > 0 {
+		best, bestN := 0, 0
+		for h, m := range byHour {
+			if m["migration"] > bestN {
+				best, bestN = h, m["migration"]
+			}
+		}
+		fmt.Fprintf(out, "migrations: %d total, mean gain %.3f, busiest hour %d (%d moves)\n",
+			migs, migGainSum/float64(migs), best, bestN)
+	}
+	if n := counts["audit_violation"]; n > 0 {
+		fmt.Fprintf(out, "WARNING: %d audit violation(s) in trace\n", n)
+	}
+
+	if hours {
+		cols := []string{"arrival", "depart", "migration", "boot", "shutdown", "failure", "spare_plan"}
+		fmt.Fprintf(out, "%-6s", "hour")
+		for _, c := range cols {
+			fmt.Fprintf(out, " %10s", c)
+		}
+		fmt.Fprintln(out)
+		hs := make([]int, 0, len(byHour))
+		for h := range byHour {
+			hs = append(hs, h)
+		}
+		sort.Ints(hs)
+		for _, h := range hs {
+			fmt.Fprintf(out, "%-6d", h)
+			for _, c := range cols {
+				fmt.Fprintf(out, " %10d", byHour[h][c])
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+// diffTraces compares two traces modulo wall-clock fields. It reports the
+// first diverging event (or a length mismatch) and returns an error when
+// the traces differ.
+func diffTraces(pathA, pathB string, out io.Writer) error {
+	a, err := canonicalLines(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := canonicalLines(pathB)
+	if err != nil {
+		return err
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(a[i], b[i]) {
+			fmt.Fprintf(out, "traces diverge at event %d:\n- %s\n+ %s\n", i, a[i], b[i])
+			return fmt.Errorf("traces differ (first divergence at event %d)", i)
+		}
+	}
+	if len(a) != len(b) {
+		fmt.Fprintf(out, "traces share %d events, then lengths differ: %d vs %d\n", n, len(a), len(b))
+		return fmt.Errorf("traces differ in length: %d vs %d events", len(a), len(b))
+	}
+	fmt.Fprintf(out, "traces identical: %d events (wall-clock fields ignored)\n", len(a))
+	return nil
+}
+
+func canonicalLines(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		lines = append(lines, obs.CanonicalLine(sc.Bytes()))
+	}
+	return lines, sc.Err()
+}

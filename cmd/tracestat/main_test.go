@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/spare"
+	"repro/internal/workload"
+)
+
+// writeTrace runs a small deterministic simulation and writes its JSONL
+// trace to a temp file. cmd packages cannot import each other, so traces
+// are produced through the sim API exactly as dvmpsim -trace does.
+func writeTrace(t *testing.T, seed int64) string {
+	t.Helper()
+	jobs := workload.MustGenerate(workload.DefaultWeekConfig(seed))
+	jobs = workload.Filter(jobs, workload.DefaultFilter())
+	workload.SortBySubmit(jobs)
+	if len(jobs) > 120 {
+		jobs = jobs[:120]
+	}
+	placer, err := policy.ByName("dynamic", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	sc := spare.DefaultConfig()
+	cfg := sim.Config{
+		DC:       cluster.TableIIFleetScaled(12),
+		Placer:   placer,
+		Requests: workload.ToRequests(jobs),
+		Spare:    &sc,
+		Obs:      obs.NewTracing(w),
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarize(t *testing.T) {
+	path := writeTrace(t, 7)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run: scheme=dynamic", "event counts:", "arrival", "run_end", "spare_plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("clean run summarized with a warning:\n%s", out)
+	}
+}
+
+func TestSummarizeHourTable(t *testing.T) {
+	path := writeTrace(t, 7)
+	var sb strings.Builder
+	if err := run([]string{"-hours", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "hour") || !strings.Contains(out, "migration") {
+		t.Errorf("-hours output missing table header:\n%s", out)
+	}
+	// The table must have at least one data row starting with an hour index.
+	if !strings.Contains(out, "\n0     ") {
+		t.Errorf("-hours output missing hour-0 row:\n%s", out)
+	}
+}
+
+// TestDiffSameSeed is the CLI face of the determinism guarantee: two runs
+// with identical configuration must yield byte-identical traces once the
+// wall-clock field is ignored.
+func TestDiffSameSeed(t *testing.T) {
+	a := writeTrace(t, 7)
+	b := writeTrace(t, 7)
+	var sb strings.Builder
+	if err := run([]string{"-diff", a, b}, &sb); err != nil {
+		t.Fatalf("same-seed traces reported as different: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "traces identical") {
+		t.Errorf("diff output missing verdict:\n%s", sb.String())
+	}
+}
+
+func TestDiffDifferentSeeds(t *testing.T) {
+	a := writeTrace(t, 7)
+	b := writeTrace(t, 8)
+	var sb strings.Builder
+	err := run([]string{"-diff", a, b}, &sb)
+	if err == nil {
+		t.Fatal("different-seed traces reported as identical")
+	}
+	if !strings.Contains(sb.String(), "diverge") && !strings.Contains(sb.String(), "lengths differ") {
+		t.Errorf("diff output missing divergence report:\n%s", sb.String())
+	}
+}
+
+func TestArgErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-bogus", "x"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-diff", "only-one.jsonl"}, &sb); err == nil {
+		t.Error("-diff with one file accepted")
+	}
+	if err := run([]string{"/nonexistent/trace.jsonl"}, &sb); err == nil {
+		t.Error("missing trace accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &sb); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &sb); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/vector"
 )
 
@@ -38,6 +39,12 @@ type Context struct {
 	// Now is the current simulation time in seconds; the virtualization
 	// factor uses it to compute remaining runtimes.
 	Now float64
+
+	// Obs, when non-nil, receives phase timings (kernel build, Algorithm 1
+	// rounds, arrival argmax) and decision counters from the placement
+	// paths. Nil — the default, and what every benchmark uses — keeps the
+	// hot paths free of instrumentation beyond a nil check.
+	Obs *obs.Observer
 
 	// classes lazily caches the per-class constants (W_j, U_j^MIN,
 	// eff_j) the efficiency factor needs; the factors are evaluated

@@ -60,10 +60,13 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 	if len(vms) == 0 {
 		return nil, nil
 	}
+	stop := ctx.Obs.Phase("kernel_build").Time()
 	m, err := NewMatrixWith(ctx, factors, vms, opts)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	stop = ctx.Obs.Phase("algo1_rounds").Time()
 	var moves []Move
 	for round := 1; round <= params.MIGRound; round++ {
 		r, c, gain, ok := m.Best()
@@ -73,11 +76,17 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 		vm := m.vms[c]
 		from := vm.Host
 		if err := m.Apply(r, c); err != nil {
+			stop()
 			return moves, err
 		}
 		moves = append(moves, Move{
 			VM: vm.ID, From: from, To: vm.Host, Gain: gain, Round: round,
 		})
+	}
+	stop()
+	ctx.Obs.Add("core.consolidate_passes", 1)
+	if len(moves) > 0 {
+		ctx.Obs.Add("core.consolidate_moves", int64(len(moves)))
 	}
 	return moves, nil
 }
@@ -149,6 +158,7 @@ func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement 
 // candidate slice, no sort — with ties broken toward the lower PM ID
 // (ActivePMs iterates in ID order), matching RankPlacements' first entry.
 func BestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
+	defer ctx.Obs.Phase("arrival_place").Time()()
 	pms := ctx.DC.ActivePMs()
 	k, useKernel := newKernel(ctx, factors, pms, []*cluster.VM{vm})
 	var best *cluster.PM

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/failure"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/spare"
@@ -53,6 +54,15 @@ type Options struct {
 	// that resample across seeds (RobustnessStudy); nil selects
 	// WeekTrace.
 	TraceGen func(seed int64) []workload.Request
+
+	// Observe, when set, is called once per simulation run (before it
+	// starts) with the scheme's name and must return that run's private
+	// observability sink, or nil to leave the run uninstrumented. The
+	// harness fans runs out in parallel (ParallelComparison, Sweep), so
+	// a fresh Observer per call is required for per-run metrics — a
+	// shared one would pool counters across concurrently running
+	// schemes. The observer is reachable afterwards via SchemeRun.Obs.
+	Observe func(scheme string) *obs.Observer
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -81,6 +91,10 @@ type SchemeRun struct {
 	// WeekEnergyKWh is the energy consumed during the first WeekHours
 	// (the quantity Figures 4-5 integrate).
 	WeekEnergyKWh float64
+
+	// Obs is this run's private observability sink (nil unless
+	// Options.Observe supplied one).
+	Obs *obs.Observer
 }
 
 // RunScheme simulates one scheme over the given requests on a fresh fleet.
@@ -107,11 +121,14 @@ func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, op
 		sc := spare.DefaultConfig()
 		cfg.Spare = &sc
 	}
+	if opts.Observe != nil {
+		cfg.Obs = opts.Observe(placer.Name())
+	}
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: scheme %s: %w", placer.Name(), err)
 	}
-	run := &SchemeRun{Result: res}
+	run := &SchemeRun{Result: res, Obs: cfg.Obs}
 	for i := 0; i < WeekHours && i < res.EnergyKWh.Len(); i++ {
 		run.WeekEnergyKWh += res.EnergyKWh.At(i)
 	}

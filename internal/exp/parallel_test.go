@@ -3,9 +3,11 @@ package exp
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -35,6 +37,58 @@ func TestParallelComparisonMatchesSequential(t *testing.T) {
 		if seq[i].Summary.Migrations != par[i].Summary.Migrations {
 			t.Errorf("%s migrations differ", seq[i].Scheme)
 		}
+	}
+}
+
+// TestParallelComparisonObserverIsolation proves the per-run metrics
+// sinks stay private when schemes run concurrently: each run must end up
+// with its own Observer (never shared), and each registry's counters must
+// match that run's own results rather than a pooled total across schemes.
+func TestParallelComparisonObserverIsolation(t *testing.T) {
+	opts := smallOptions()
+	var mu sync.Mutex
+	handed := map[string]*obs.Observer{}
+	opts.Observe = func(scheme string) *obs.Observer {
+		o := obs.New()
+		mu.Lock()
+		handed[scheme] = o
+		mu.Unlock()
+		return o
+	}
+	runs, err := ParallelComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	seen := map[*obs.Observer]string{}
+	for _, r := range runs {
+		if r.Obs == nil {
+			t.Fatalf("%s: run has no observer", r.Scheme)
+		}
+		if prev, dup := seen[r.Obs]; dup {
+			t.Fatalf("observer shared between %s and %s", prev, r.Scheme)
+		}
+		seen[r.Obs] = r.Scheme
+		if r.Obs != handed[r.Scheme] {
+			t.Errorf("%s: run carries a different observer than Observe handed out", r.Scheme)
+		}
+		arrivals := r.Obs.Counter("sim.arrivals").Value()
+		if want := int64(len(opts.Trace)); arrivals != want {
+			t.Errorf("%s: sim.arrivals = %d, want %d (counters pooled across runs?)",
+				r.Scheme, arrivals, want)
+		}
+		migs := r.Obs.Counter("sim.migrations").Value()
+		if want := int64(r.Summary.Migrations); migs != want {
+			t.Errorf("%s: sim.migrations = %d, want this run's own %d",
+				r.Scheme, migs, want)
+		}
+	}
+	// The static schemes never migrate while dynamic does on this
+	// fragmenting trace, so identical registries would have been caught.
+	if runs[2].Obs.Counter("sim.migrations").Value() == 0 {
+		t.Error("dynamic run recorded no migrations; isolation check is vacuous")
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package obs is the simulator's zero-dependency observability layer:
+// a metrics registry (counters, gauges, bounded histograms) with atomic
+// hot-path updates, a structured JSONL run tracer with schema-versioned
+// events, and per-phase wall-clock timing spans.
+//
+// Everything is nil-safe: an Observer that was never constructed (a nil
+// pointer) turns every call into a no-op, so instrumented code paths need
+// no guards and pay only a nil check when observability is off. The
+// simulator threads a single *Observer through sim.Config, core.Context,
+// and spare.Controller; both CLIs expose it via -trace / -metrics.
+//
+// Determinism contract: trace events carry only simulation-derived data
+// plus one wall-clock field ("wall", always the final key of a line).
+// CanonicalLine strips it, after which two same-seed runs produce
+// byte-identical traces — the golden-trace regression test and
+// `tracestat -diff` are built on this.
+package obs
+
+import "io"
+
+// Observer bundles a metrics registry with an optional run tracer. A nil
+// Observer is valid and inert.
+type Observer struct {
+	// Reg collects counters, gauges, and histograms. Always non-nil on
+	// a constructed Observer.
+	Reg *Registry
+
+	// Trace receives structured run events; nil disables tracing while
+	// keeping metrics.
+	Trace *Tracer
+}
+
+// New returns an Observer that collects metrics only.
+func New() *Observer {
+	return &Observer{Reg: NewRegistry()}
+}
+
+// NewTracing returns an Observer that collects metrics and writes JSONL
+// trace events to w. The caller owns w (and should flush/close it after
+// the run); Tracer buffers internally per line only.
+func NewTracing(w io.Writer) *Observer {
+	return &Observer{Reg: NewRegistry(), Trace: NewTracer(w)}
+}
+
+// Counter returns the named counter, or nil (an inert counter) when the
+// observer is nil.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Add increments the named counter by n; a convenience for call sites
+// too cold to cache the *Counter.
+func (o *Observer) Add(name string, n int64) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.Reg.Counter(name).Add(n)
+}
+
+// SetGauge sets the named gauge.
+func (o *Observer) SetGauge(name string, v float64) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.Reg.Gauge(name).Set(v)
+}
+
+// Phase returns the named timing span, or nil (inert) when the observer
+// is nil. Hot call sites should cache the *Span.
+func (o *Observer) Phase(name string) *Span {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	return o.Reg.phase(name)
+}
+
+// Tracing reports whether trace events are being recorded; call sites use
+// it to skip building event payloads entirely when tracing is off.
+func (o *Observer) Tracing() bool {
+	return o != nil && o.Trace != nil
+}
+
+// Emit writes one trace event when tracing is enabled. Cold call sites
+// can call it unconditionally; hot ones should guard with Tracing() to
+// avoid assembling the key/value payload.
+func (o *Observer) Emit(t float64, event string, fields ...KV) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace.Emit(t, event, fields...)
+}

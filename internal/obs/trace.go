@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is the trace event schema version, carried by every event
+// as "v". Bump it when an event's field set changes meaning.
+const SchemaVersion = 1
+
+// wallKey is the one wall-clock field a trace line may carry. It is
+// always the final key of the line, which is what makes CanonicalLine a
+// simple suffix cut rather than a JSON round-trip.
+const wallKey = `,"wall":`
+
+// KV is one typed event field. Construct with I, F, S, or B.
+type KV struct {
+	K    string
+	kind byte // 'i', 'f', 's', 'b'
+	i    int64
+	f    float64
+	s    string
+}
+
+// I is an integer field.
+func I(k string, v int64) KV { return KV{K: k, kind: 'i', i: v} }
+
+// F is a float field.
+func F(k string, v float64) KV { return KV{K: k, kind: 'f', f: v} }
+
+// S is a string field.
+func S(k, v string) KV { return KV{K: k, kind: 's', s: v} }
+
+// B is a boolean field.
+func B(k string, v bool) KV {
+	var i int64
+	if v {
+		i = 1
+	}
+	return KV{K: k, kind: 'b', i: i}
+}
+
+// Tracer writes schema-versioned JSONL run events. Each event carries a
+// logical clock ("seq", the emission index), the simulation time ("t"),
+// the event type, the caller's fields in call order, and finally the
+// wall-clock timestamp ("wall", Unix nanoseconds). Field order is fixed
+// by construction — the encoder is hand-rolled, not reflective — so two
+// identical runs produce byte-identical traces once "wall" is stripped.
+//
+// Emit is safe for concurrent use (a mutex orders lines), though the
+// simulator itself is single-threaded per run.
+type Tracer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	buf  []byte
+	seq  uint64
+	err  error
+	wall func() int64 // injectable for tests
+}
+
+// NewTracer returns a tracer writing to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, wall: func() int64 { return time.Now().UnixNano() }}
+}
+
+// Emit writes one event line.
+func (tr *Tracer) Emit(t float64, event string, fields ...KV) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	b := tr.buf[:0]
+	b = append(b, `{"v":`...)
+	b = strconv.AppendInt(b, SchemaVersion, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, tr.seq, 10)
+	b = append(b, `,"t":`...)
+	b = appendFloat(b, t)
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, event)
+	for _, kv := range fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, kv.K)
+		b = append(b, ':')
+		switch kv.kind {
+		case 'i':
+			b = strconv.AppendInt(b, kv.i, 10)
+		case 'f':
+			b = appendFloat(b, kv.f)
+		case 's':
+			b = strconv.AppendQuote(b, kv.s)
+		case 'b':
+			if kv.i != 0 {
+				b = append(b, "true"...)
+			} else {
+				b = append(b, "false"...)
+			}
+		default:
+			b = append(b, "null"...)
+		}
+	}
+	b = append(b, wallKey...)
+	b = strconv.AppendInt(b, tr.wall(), 10)
+	b = append(b, '}', '\n')
+	tr.buf = b
+	tr.seq++
+	if tr.err == nil {
+		_, tr.err = tr.w.Write(b)
+	}
+}
+
+// Events returns the number of events emitted so far.
+func (tr *Tracer) Events() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.seq
+}
+
+// Err returns the first write error, if any.
+func (tr *Tracer) Err() error {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.err
+}
+
+// appendFloat formats a float as shortest-round-trip JSON. NaN and
+// infinities (never produced by a healthy run) are quoted so the line
+// stays valid JSON.
+func appendFloat(b []byte, v float64) []byte {
+	if v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308 {
+		return strconv.AppendQuote(b, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// CanonicalLine strips the wall-clock suffix from one trace line,
+// returning the determinism-comparable form. Lines without a wall field
+// are returned unchanged (minus any trailing newline).
+func CanonicalLine(line []byte) []byte {
+	line = bytes.TrimRight(line, "\r\n")
+	if i := bytes.LastIndex(line, []byte(wallKey)); i >= 0 && bytes.HasSuffix(line, []byte("}")) {
+		out := append([]byte(nil), line[:i]...)
+		return append(out, '}')
+	}
+	return append([]byte(nil), line...)
+}
+
+// Canonicalize streams a JSONL trace from r to w with every line's
+// wall-clock field stripped. After this, two same-seed runs' traces are
+// byte-identical — the property the golden-trace test and
+// `tracestat -diff` assert.
+func Canonicalize(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	bw := bufio.NewWriter(w)
+	for sc.Scan() {
+		if _, err := bw.Write(CanonicalLine(sc.Bytes())); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixedWall pins the tracer's wall clock for byte-exact assertions.
+func fixedWall(tr *Tracer, ns int64) { tr.wall = func() int64 { return ns } }
+
+func TestEmitFieldOrderAndTypes(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixedWall(tr, 42)
+	tr.Emit(3600, "migration",
+		I("vm", 7), I("from", 0), I("to", 12), F("gain", 1.25), S("note", `a"b`), B("timed", true))
+	want := `{"v":1,"seq":0,"t":3600,"event":"migration","vm":7,"from":0,"to":12,"gain":1.25,"note":"a\"b","timed":true,"wall":42}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("line mismatch:\ngot  %s\nwant %s", got, want)
+	}
+	// Every line must be valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if m["from"] != float64(0) {
+		t.Error("zero-valued ID field dropped — PM IDs are 0-based, zeros must survive")
+	}
+}
+
+func TestSeqIsLogicalClock(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixedWall(tr, 1)
+	for i := 0; i < 3; i++ {
+		tr.Emit(float64(i), "tick")
+	}
+	if tr.Events() != 3 {
+		t.Errorf("events = %d, want 3", tr.Events())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i, line := range lines {
+		if !strings.Contains(line, fmt.Sprintf(`"seq":%d,`, i)) {
+			t.Errorf("line %d missing seq %d: %s", i, i, line)
+		}
+	}
+}
+
+func TestCanonicalLineStripsOnlyWall(t *testing.T) {
+	in := []byte(`{"v":1,"seq":0,"t":0,"event":"boot","pm":3,"wall":123456789}` + "\n")
+	want := `{"v":1,"seq":0,"t":0,"event":"boot","pm":3}`
+	if got := string(CanonicalLine(in)); got != want {
+		t.Errorf("canonical = %s, want %s", got, want)
+	}
+	// A line without a wall field passes through unchanged.
+	plain := `{"v":1,"seq":1,"t":0,"event":"x"}`
+	if got := string(CanonicalLine([]byte(plain + "\n"))); got != plain {
+		t.Errorf("plain line changed: %s", got)
+	}
+	// A wall-like string VALUE must not confuse the cut: the wall field is
+	// always last, so only the final occurrence is removed.
+	tricky := `{"v":1,"seq":2,"t":0,"event":"x","note":",\"wall\":9","wall":5}`
+	got := string(CanonicalLine([]byte(tricky)))
+	if !strings.Contains(got, `"note"`) || strings.HasSuffix(got, `"wall":5}`) {
+		t.Errorf("tricky canonical = %s", got)
+	}
+}
+
+func TestCanonicalizeMakesRunsComparable(t *testing.T) {
+	emit := func(wall int64) string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		fixedWall(tr, wall)
+		tr.Emit(0, "arrival", I("vm", 1))
+		tr.Emit(60, "depart", I("vm", 1), I("pm", 0))
+		return buf.String()
+	}
+	a, b := emit(100), emit(999)
+	if a == b {
+		t.Fatal("wall clocks should differ before canonicalization")
+	}
+	var ca, cb bytes.Buffer
+	if err := Canonicalize(strings.NewReader(a), &ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := Canonicalize(strings.NewReader(b), &cb); err != nil {
+		t.Fatal(err)
+	}
+	if ca.String() != cb.String() {
+		t.Errorf("canonical traces differ:\n%s\nvs\n%s", ca.String(), cb.String())
+	}
+}
+
+func TestEmitNonFiniteFloatsStayValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixedWall(tr, 1)
+	tr.Emit(0, "weird", F("nan", math.NaN()), F("inf", math.Inf(1)))
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("non-finite floats broke JSON: %v\n%s", err, buf.String())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixedWall(tr, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(float64(i), "tick", I("n", int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON: %v\n%s", err, line)
+		}
+	}
+	if tr.Err() != nil {
+		t.Errorf("unexpected tracer error: %v", tr.Err())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTracerCapturesFirstWriteError(t *testing.T) {
+	tr := NewTracer(&failWriter{})
+	fixedWall(tr, 1)
+	tr.Emit(0, "a")
+	tr.Emit(1, "b")
+	tr.Emit(2, "c")
+	if tr.Err() == nil || !strings.Contains(tr.Err().Error(), "disk full") {
+		t.Errorf("err = %v, want disk full", tr.Err())
+	}
+}

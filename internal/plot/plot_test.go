@@ -3,6 +3,7 @@ package plot
 import (
 	"bytes"
 	"encoding/xml"
+	"math"
 	"strings"
 	"testing"
 
@@ -88,6 +89,61 @@ func TestWriteSVGSingleSample(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "polyline") {
 		t.Error("no polyline for single sample")
+	}
+}
+
+// TestWriteSVGEdgeSeries drives the renderer through the degenerate
+// series shapes the experiment harness can hand it. No case may error
+// (except the all-empty chart, covered above) and none may leak a
+// literal NaN into the SVG — browsers silently drop such polylines.
+func TestWriteSVGEdgeSeries(t *testing.T) {
+	nanSeries := func() *metrics.Series {
+		s := metrics.NewSeries("nan", 1)
+		s.Append(1)
+		s.Append(math.NaN())
+		s.Append(3)
+		return s
+	}
+	cases := []struct {
+		name   string
+		series []*metrics.Series
+	}{
+		{"NaN sample", []*metrics.Series{nanSeries()}},
+		{"all NaN", []*metrics.Series{func() *metrics.Series {
+			s := metrics.NewSeries("allnan", 1)
+			s.Append(math.NaN())
+			s.Append(math.NaN())
+			return s
+		}()}},
+		{"single point", []*metrics.Series{func() *metrics.Series {
+			s := metrics.NewSeries("pt", 1)
+			s.Append(7)
+			return s
+		}()}},
+		{"empty next to populated", []*metrics.Series{
+			metrics.NewSeries("empty", 1), nanSeries(),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Neutral title: the NaN leak check scans the whole SVG,
+			// so the subtest name must not appear in it.
+			c := &Chart{Title: "edge case", Series: tc.series}
+			var buf bytes.Buffer
+			if err := c.WriteSVG(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if strings.Contains(out, "NaN") {
+				t.Error("literal NaN leaked into SVG coordinates")
+			}
+			if got := strings.Count(out, "<polyline"); got != len(tc.series) {
+				t.Errorf("polylines = %d, want %d", got, len(tc.series))
+			}
+			if _, err := xml.NewDecoder(strings.NewReader(out)).Token(); err != nil {
+				t.Errorf("invalid XML: %v", err)
+			}
+		})
 	}
 }
 

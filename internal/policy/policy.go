@@ -205,9 +205,16 @@ func (d *Dynamic) FactorSet() []core.Factor { return d.factors() }
 // probability", leaves the all-zero column undefined.)
 func (d *Dynamic) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 	if pm := core.BestPlacement(ctx, d.factors(), vm); pm != nil {
+		ctx.Obs.Add("policy.dynamic_place", 1)
 		return pm
 	}
-	return BestFit{}.Place(ctx, vm)
+	// The all-zero-column fallback is a scheme blind spot worth watching
+	// in production traces, so it gets its own counter.
+	if pm := (BestFit{}).Place(ctx, vm); pm != nil {
+		ctx.Obs.Add("policy.dynamic_place_fallback", 1)
+		return pm
+	}
+	return nil
 }
 
 // Consolidate implements Placer.

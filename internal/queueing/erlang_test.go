@@ -107,6 +107,74 @@ func TestServersForWaitProbabilityPanics(t *testing.T) {
 	ServersForWaitProbability(5, 0)
 }
 
+// TestErlangEdgeTable sweeps the formulas across the regimes the QoS
+// cross-check can hit at runtime: empty systems, saturation, deep
+// overload, and pools far larger than the paper's fleet. Exact values
+// (where the teletraffic tables give one) use NaN as "property-check
+// only" sentinel otherwise; every row must still yield probabilities
+// with C >= B.
+func TestErlangEdgeTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name         string
+		c            int
+		a            float64
+		wantB, wantC float64
+	}{
+		{"zero servers, zero load", 0, 0, 0, 0},
+		{"zero servers, positive load", 0, 3, 1, 1},
+		{"zero load", 8, 0, 0, 0},
+		{"load equals servers", 4, 4, 0.31068, 1},
+		{"load exceeds servers", 2, 10, 0.81967, 1},
+		{"deep overload", 10, 1e6, nan, 1},
+		{"large stable pool", 1000, 900, nan, nan},
+		{"large pool near saturation", 1000, 999.5, nan, nan},
+		{"very large pool", 10000, 9000, nan, nan},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, c := ErlangB(tc.c, tc.a), ErlangC(tc.c, tc.a)
+			for name, v := range map[string]float64{"B": b, "C": c} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Errorf("Erlang%s(%d, %g) = %g, not a probability", name, tc.c, tc.a, v)
+				}
+			}
+			if c < b-1e-12 {
+				t.Errorf("C (%g) < B (%g): waiting system cannot beat loss system", c, b)
+			}
+			if !math.IsNaN(tc.wantB) && math.Abs(b-tc.wantB) > 2e-5 {
+				t.Errorf("ErlangB(%d, %g) = %.6f, want %.5f", tc.c, tc.a, b, tc.wantB)
+			}
+			if !math.IsNaN(tc.wantC) && math.Abs(c-tc.wantC) > 2e-5 {
+				t.Errorf("ErlangC(%d, %g) = %.6f, want %.5f", tc.c, tc.a, c, tc.wantC)
+			}
+		})
+	}
+}
+
+// TestLargeNStability exercises the recurrence at fleet sizes three
+// orders of magnitude past Table II: the results must stay finite,
+// monotone in c, and the sizing search must still terminate minimally.
+func TestLargeNStability(t *testing.T) {
+	if w := MeanWaitMM_c(1000, 900, 1); math.IsNaN(w) || w < 0 || math.IsInf(w, 0) {
+		t.Errorf("large-pool mean wait = %g, want finite non-negative", w)
+	}
+	if c1, c2 := ErlangC(1000, 900), ErlangC(1100, 900); c2 > c1+1e-12 {
+		t.Errorf("adding servers increased wait probability: %g -> %g", c1, c2)
+	}
+	a := 500.0
+	c := ServersForWaitProbability(a, 0.05)
+	if c < int(a) {
+		t.Errorf("sizing returned %d servers for %g Erlangs: unstable", c, a)
+	}
+	if ErlangC(c, a) > 0.05 {
+		t.Errorf("c = %d does not meet the 5%% target", c)
+	}
+	if ErlangC(c-1, a) <= 0.05 {
+		t.Errorf("c = %d not minimal", c)
+	}
+}
+
 // Property: Erlang B and C are probabilities, C >= B (a waiting system
 // holds arrivals a loss system would drop), and both decrease as servers
 // are added.

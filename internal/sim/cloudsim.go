@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/spare"
@@ -65,6 +66,16 @@ type Config struct {
 	// simulation event (arrivals, placements, migrations, boots,
 	// failures) — the debugging trace for simulator development.
 	EventLog io.Writer
+
+	// Obs, when non-nil, is the observability sink: the run's metrics
+	// (counters, gauges, wait histogram, phase timings) land in Obs.Reg,
+	// and — when Obs.Trace is set — every simulation event is emitted as
+	// a structured JSONL record (internal/obs). The observer is threaded
+	// into the placement kernel (via the core.Context) and the spare
+	// controller, so one sink sees the whole run. Each run needs its own
+	// Observer; sharing one across concurrent runs keeps the metrics
+	// race-free but sums them into a single pool.
+	Obs *obs.Observer
 
 	// CheckInvariants validates the full datacenter state after every
 	// event; slow, meant for tests. Predates the audit subsystem and
@@ -221,6 +232,21 @@ type simulator struct {
 	arrived int
 	tickRan bool
 
+	// tracing gates structured event emission so disabled runs never
+	// assemble event payloads; the counters and spans below are cached
+	// registry pointers (nil-safe no-ops without an observer).
+	tracing    bool
+	phDispatch *obs.Span
+	waitHist   *obs.Histogram
+	cArrivals  *obs.Counter
+	cPlace     *obs.Counter
+	cQueued    *obs.Counter
+	cDeparts   *obs.Counter
+	cMigrates  *obs.Counter
+	cBoots     *obs.Counter
+	cShutdowns *obs.Counter
+	cFailures  *obs.Counter
+
 	res         *Result
 	waits       []float64
 	queuedCount int
@@ -230,6 +256,37 @@ type simulator struct {
 
 func (s *simulator) ctx() *core.Context {
 	return s.pctx.At(s.eng.Now())
+}
+
+// setupObs caches the run's metric handles and threads the observer into
+// the placement kernel and the spare controller. Everything stays nil
+// (inert) without a configured observer.
+func (s *simulator) setupObs() {
+	o := s.cfg.Obs
+	if o == nil {
+		return
+	}
+	s.tracing = o.Tracing()
+	s.pctx.Obs = o
+	if s.ctrl != nil {
+		s.ctrl.Obs = o
+	}
+	s.phDispatch = o.Phase("event_dispatch")
+	s.waitHist = o.Reg.Histogram("sim.wait_seconds", []float64{1, 10, 60, 300, 1800})
+	s.cArrivals = o.Counter("sim.arrivals")
+	s.cPlace = o.Counter("sim.placements")
+	s.cQueued = o.Counter("sim.queued")
+	s.cDeparts = o.Counter("sim.departures")
+	s.cMigrates = o.Counter("sim.migrations")
+	s.cBoots = o.Counter("sim.boots")
+	s.cShutdowns = o.Counter("sim.shutdowns")
+	s.cFailures = o.Counter("sim.failures")
+}
+
+// emit writes one structured trace event at the current simulation time.
+// Callers guard with s.tracing so disabled runs skip payload assembly.
+func (s *simulator) emit(event string, fields ...obs.KV) {
+	s.cfg.Obs.Emit(s.eng.Now(), event, fields...)
 }
 
 // logf appends one record to the event log when tracing is enabled.
@@ -260,7 +317,17 @@ func (s *simulator) run() (*Result, error) {
 	if s.cfg.Failures.Enabled() {
 		s.inj = failure.NewInjector(s.cfg.Failures)
 	}
+	s.setupObs()
 	s.setupAudit()
+	if s.tracing {
+		s.emit("run_start",
+			obs.S("scheme", s.cfg.Placer.Name()),
+			obs.I("pms", int64(s.dc.Size())),
+			obs.I("requests", int64(len(s.cfg.Requests))),
+			obs.F("control_period", s.cfg.ControlPeriod),
+			obs.B("spare", s.cfg.Spare != nil),
+			obs.B("timed_migrations", s.cfg.TimedMigrations))
+	}
 
 	for i, pm := range s.bootCandidates() {
 		if i >= s.cfg.WarmStart {
@@ -292,7 +359,13 @@ func (s *simulator) run() (*Result, error) {
 		}
 	}
 	var simErr error
-	for s.eng.Step() {
+	for {
+		stopDispatch := s.phDispatch.Time()
+		stepped := s.eng.Step()
+		stopDispatch()
+		if !stepped {
+			break
+		}
 		if s.cfg.CheckInvariants {
 			if err := s.dc.CheckInvariants(); err != nil {
 				simErr = fmt.Errorf("sim: invariant violation at t=%g: %w", s.eng.Now(), err)
@@ -311,8 +384,13 @@ func (s *simulator) run() (*Result, error) {
 			}
 			if auditErr != nil {
 				simErr = fmt.Errorf("sim: %w", auditErr)
-				break
 			}
+		}
+		if simErr != nil {
+			if s.tracing {
+				s.emit("audit_violation", obs.S("error", simErr.Error()))
+			}
+			break
 		}
 	}
 	if simErr != nil {
@@ -325,11 +403,24 @@ func (s *simulator) run() (*Result, error) {
 	if s.aud != nil {
 		// Final sweep over the drained state.
 		if err := s.aud.RunPeriod(s.eng.Now()); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+			err = fmt.Errorf("sim: %w", err)
+			if s.tracing {
+				s.emit("audit_violation", obs.S("error", err.Error()))
+			}
+			return nil, err
 		}
 		s.res.AuditChecks = s.aud.Checks()
 	}
 	s.finalizeResult()
+	if s.tracing {
+		s.emit("run_end",
+			obs.I("completed", int64(s.res.Summary.VMsCompleted)),
+			obs.I("rejected", int64(s.res.Summary.Rejected)),
+			obs.I("migrations", int64(len(s.res.Moves))),
+			obs.I("boots", int64(s.boots)),
+			obs.I("failures", int64(s.res.Failures)),
+			obs.I("dispatched", int64(s.eng.Dispatched())))
+	}
 	return s.res, nil
 }
 
@@ -378,6 +469,11 @@ func (s *simulator) onArrival(id cluster.VMID, req workload.Request) {
 	}
 	vm := cluster.NewVM(id, vector.New(req.CPUCores, req.MemoryGB), req.EstimatedRunTime, req.RunTime, now)
 	s.logf("arrive   VM%-5d demand=%v est=%gs", vm.ID, vm.Demand, vm.EstimatedRuntime)
+	s.cArrivals.Inc()
+	if s.tracing {
+		s.emit("arrival", obs.I("vm", int64(vm.ID)),
+			obs.F("cpu", req.CPUCores), obs.F("mem", req.MemoryGB), obs.F("est", req.EstimatedRunTime))
+	}
 	if !s.tryPlace(vm) {
 		s.logf("queue    VM%-5d (no feasible active PM)", vm.ID)
 		s.enqueue(vm)
@@ -404,6 +500,10 @@ func (s *simulator) tryPlace(vm *cluster.VM) bool {
 	}
 	s.recordWait(vm, start)
 	s.logf("place    VM%-5d -> PM%d (%s)", vm.ID, pm.ID, pm.Class.Name)
+	s.cPlace.Inc()
+	if s.tracing {
+		s.emit("place", obs.I("vm", int64(vm.ID)), obs.I("pm", int64(pm.ID)), obs.F("ready", start))
+	}
 	done := start + pm.Class.CreationTime
 	s.lifeEvent[vm.ID] = s.eng.Schedule(done, func() { s.onCreationDone(vm) })
 	return true
@@ -415,6 +515,7 @@ func (s *simulator) recordWait(vm *cluster.VM, placedAt float64) {
 		w = 0
 	}
 	s.waits = append(s.waits, w)
+	s.waitHist.Observe(w)
 	if w > 1 { // anything beyond a second of queueing counts against QoS
 		s.queuedCount++
 	}
@@ -432,9 +533,17 @@ func (s *simulator) enqueue(vm *cluster.VM) {
 	}
 	if !feasibleSomewhere {
 		s.res.Summary.Rejected++
+		s.cfg.Obs.Add("sim.rejected", 1)
+		if s.tracing {
+			s.emit("reject", obs.I("vm", int64(vm.ID)))
+		}
 		return
 	}
 	s.queue = append(s.queue, vm)
+	s.cQueued.Inc()
+	if s.tracing {
+		s.emit("queue", obs.I("vm", int64(vm.ID)), obs.I("depth", int64(len(s.queue))))
+	}
 	s.ensureBoots()
 }
 
@@ -493,6 +602,10 @@ func (s *simulator) bootPM(pm *cluster.PM) {
 	ready := s.eng.Now() + pm.Class.OnOffOverhead
 	s.bootReadyAt[pm.ID] = ready
 	s.boots++
+	s.cBoots.Inc()
+	if s.tracing {
+		s.emit("boot", obs.I("pm", int64(pm.ID)), obs.S("class", pm.Class.Name), obs.F("ready", ready))
+	}
 	s.logf("boot     PM%-5d (%s, ready at %.1f)", pm.ID, pm.Class.Name, ready)
 	s.eng.Schedule(ready, func() { s.onBootDone(pm) })
 }
@@ -514,6 +627,10 @@ func (s *simulator) shutdownPM(pm *cluster.PM) {
 	}
 	s.meter.Advance(s.eng.Now())
 	s.logf("shutdown PM%-5d (%s)", pm.ID, pm.Class.Name)
+	s.cShutdowns.Inc()
+	if s.tracing {
+		s.emit("shutdown", obs.I("pm", int64(pm.ID)))
+	}
 	pm.State = cluster.PMShuttingDown
 	s.disarmFailure(pm)
 	s.eng.ScheduleAfter(pm.Class.OnOffOverhead, func() { s.onShutdownDone(pm) })
@@ -560,6 +677,11 @@ func (s *simulator) onDeparture(vm *cluster.VM) {
 	if s.ctrl != nil {
 		s.ctrl.RecordCompletion(vm.ActualRuntime)
 	}
+	s.cDeparts.Inc()
+	if s.tracing {
+		s.emit("depart", obs.I("vm", int64(vm.ID)), obs.I("pm", int64(host.ID)),
+			obs.I("migrations", int64(vm.Migrations)))
+	}
 	s.logf("depart   VM%-5d from PM%d (%d migrations)", vm.ID, host.ID, vm.Migrations)
 
 	s.drainQueue()
@@ -572,10 +694,22 @@ func (s *simulator) onControlTick() {
 	s.res.ActivePMs.Append(float64(s.dc.ActiveCount()))
 	s.res.MeanUtilization.Append(s.meanNonIdleUtilization())
 
+	s.cfg.Obs.SetGauge("sim.active_pms", float64(s.dc.ActiveCount()))
+	s.cfg.Obs.SetGauge("sim.queue_len", float64(len(s.queue)))
+	if s.tracing {
+		s.emit("tick", obs.I("active", int64(s.dc.ActiveCount())),
+			obs.F("util", s.meanNonIdleUtilization()), obs.I("queue", int64(len(s.queue))))
+	}
+
 	if s.ctrl != nil {
 		plan := s.ctrl.PlanSpares(now, s.dc)
 		s.res.SparePlans = append(s.res.SparePlans, plan)
 		s.spareTarget = plan.Spares
+		if s.tracing {
+			s.emit("spare_plan", obs.I("spares", int64(plan.Spares)),
+				obs.I("n_arrival", int64(plan.NArrival)), obs.I("n_departure", int64(plan.NDeparture)),
+				obs.F("n_ave", plan.NAve), obs.F("expected_arrivals", plan.ExpectedArrivals))
+		}
 	} else if now > 0 {
 		s.spareTarget = 0
 	}
@@ -600,6 +734,11 @@ func (s *simulator) onFailure(pm *cluster.PM) {
 	delete(s.failEvent, pm.ID)
 	s.res.Failures++
 	s.inj.Fail(pm)
+	s.cFailures.Inc()
+	if s.tracing {
+		s.emit("failure", obs.I("pm", int64(pm.ID)), obs.I("victims", int64(pm.VMCount())),
+			obs.F("reliability", pm.Reliability))
+	}
 	s.logf("fail     PM%-5d (%d VMs to re-place, reliability now %.3f)", pm.ID, pm.VMCount(), pm.Reliability)
 	pm.State = cluster.PMFailed
 
@@ -695,7 +834,12 @@ func (s *simulator) consolidate() {
 		return
 	}
 	s.res.Moves = append(s.res.Moves, moves...)
+	s.cMigrates.Add(int64(len(moves)))
 	for _, mv := range moves {
+		if s.tracing {
+			s.emit("migration", obs.I("vm", int64(mv.VM)), obs.I("from", int64(mv.From)),
+				obs.I("to", int64(mv.To)), obs.F("gain", mv.Gain), obs.I("round", int64(mv.Round)))
+		}
 		s.logf("migrate  VM%-5d PM%d -> PM%d (gain %.3f, round %d)", mv.VM, mv.From, mv.To, mv.Gain, mv.Round)
 	}
 	if !s.cfg.TimedMigrations {

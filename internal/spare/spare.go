@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/nhpp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -99,6 +100,11 @@ type Controller struct {
 	cfg Config
 	est *nhpp.Estimator
 
+	// Obs, when non-nil, receives the spare_plan timing span and the
+	// controller's decision metrics (plans made, current spare target).
+	// The simulator sets it from sim.Config.Obs.
+	Obs *obs.Observer
+
 	// runtime statistics of completed VMs, for the churn-aware
 	// departure correction.
 	runSum   float64
@@ -167,6 +173,7 @@ type Plan struct {
 // control period. dc supplies departure predictions (via VM runtime
 // estimates) and N_Ave.
 func (c *Controller) PlanSpares(now float64, dc *cluster.Datacenter) Plan {
+	defer c.Obs.Phase("spare_plan").Time()()
 	c.est.Advance(now)
 	p := Plan{At: now}
 	p.ExpectedArrivals = c.est.CumulativeIntensity(now, now+c.cfg.Period)
@@ -192,6 +199,8 @@ func (c *Controller) PlanSpares(now float64, dc *cluster.Datacenter) Plan {
 	if p.Spares > dc.Size() {
 		p.Spares = dc.Size()
 	}
+	c.Obs.Add("spare.plans", 1)
+	c.Obs.SetGauge("spare.target", float64(p.Spares))
 	return p
 }
 
