@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json
+.PHONY: test check vet race audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
 
 test:
 	$(GO) test ./...
@@ -26,11 +26,13 @@ audit:
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
 
-## bench-smoke: run every Kernel* micro-benchmark exactly once. Not a
-## measurement — a liveness gate: benchmarks bit-rot silently because
-## `go test` never executes them, so check runs each for one iteration.
+## bench-smoke: run every Kernel* and Engine* micro-benchmark exactly
+## once. Not a measurement — a liveness gate: benchmarks bit-rot silently
+## because `go test` never executes them, so check runs each for one
+## iteration.
 bench-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench '^BenchmarkKernel' -benchtime 1x
+	$(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkEngine' -benchtime 1x
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
 ## (covers the lock-free metrics hot path and the parallel experiment
@@ -50,7 +52,29 @@ bench-kernel:
 bench-paper:
 	$(GO) test . -run '^$$' -bench . -benchmem
 
-## bench-json: regenerate BENCH_core.json — kernel vs the frozen pre-kernel
-## implementation on build / round / arrival at 100 and 1000 PMs.
+## bench-json: regenerate BENCH_core.json (kernel vs the frozen pre-kernel
+## implementation on build / round / arrival at 100 and 1000 PMs) and
+## BENCH_engine.json (calendar-queue scheduler vs the frozen binary heap
+## at 10k / 100k / 1M dispatched events).
 bench-json:
-	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json
+	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json -engine-o BENCH_engine.json
+
+## bench-diff: re-measure both suites into a temp directory and compare
+## against the committed BENCH_*.json, warning on any per-operation timing
+## that regressed by more than 20%. Informational — machine-to-machine
+## variance means a warning is a prompt to look, not a failure.
+bench-diff:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/benchreport -sizes 100,1000 \
+		-o $$tmp/BENCH_core.json -engine-o $$tmp/BENCH_engine.json && \
+	$(GO) run ./cmd/benchreport -diff BENCH_core.json $$tmp/BENCH_core.json && \
+	$(GO) run ./cmd/benchreport -diff BENCH_engine.json $$tmp/BENCH_engine.json && \
+	rm -rf $$tmp
+
+## profile: capture CPU and heap profiles from the seed workload under the
+## dynamic scheme (PROFILE_FLAGS to change the run). Inspect with
+## `go tool pprof cpu.pprof` / `go tool pprof heap.pprof`.
+PROFILE_FLAGS ?= -spare
+profile:
+	$(GO) run ./cmd/dvmpsim $(PROFILE_FLAGS) -cpuprofile cpu.pprof -memprofile heap.pprof
+	@echo "wrote cpu.pprof and heap.pprof"

@@ -1,20 +1,27 @@
-// Command benchreport measures the factored evaluation kernel against the
-// pre-kernel code path (frozen in internal/core/oracle) on the three hot
-// operations
-// of the scheme — probability-matrix build, per-round incremental update,
-// and arrival placement — and records the results as JSON (BENCH_core.json
-// at the repository root, by convention).
+// Command benchreport measures the repository's two performance pillars
+// and records the results as JSON at the repository root:
 //
-// It complements the `go test -bench Kernel` micro-benchmarks in
-// internal/core: those compare the kernel against the generic
-// Factor-interface path inside the *current* matrix implementation, while
-// this command compares against the original implementation (generic
-// evaluation, per-column strided rescans with a division per row, linear
-// Best scan, sort-based arrival ranking).
+//   - BENCH_core.json — the factored evaluation kernel against the
+//     pre-kernel code path (frozen in internal/core/oracle) on the three
+//     hot operations of the scheme: probability-matrix build, per-round
+//     incremental update, and arrival placement.
+//   - BENCH_engine.json — the calendar-queue event scheduler against the
+//     pre-rewrite binary heap (frozen in internal/sim/schedheap) on a
+//     steady-state churn workload at several total-event scales, with
+//     events/sec and the wheel's allocation rate.
+//
+// It complements the `go test -bench` micro-benchmarks: those compare
+// alternatives inside the current implementation, while this command
+// compares against the frozen originals and emits a machine-readable
+// record that `benchreport -diff` (and `make bench-diff`) can later check
+// fresh numbers against.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_core.json] [-sizes 100,1000] [-benchtime 300ms]
+//	benchreport [-suite all|core|engine] [-o BENCH_core.json]
+//	            [-engine-o BENCH_engine.json] [-sizes 100,1000]
+//	            [-events 10000,100000,1000000] [-benchtime 300ms]
+//	benchreport -diff old.json new.json [-threshold 0.2]
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +40,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/core/oracle"
+	"repro/internal/sim"
+	"repro/internal/sim/schedheap"
 	"repro/internal/vector"
 )
 
@@ -61,30 +71,83 @@ type Scale struct {
 }
 
 // Measurement compares the kernel path against the pre-kernel path on one
-// operation.
+// operation. Alloc figures are per op, measured alongside the timing loop.
 type Measurement struct {
-	KernelNsOp float64 `json:"kernel_ns_op"`
-	NaiveNsOp  float64 `json:"naive_ns_op"`
-	Speedup    float64 `json:"speedup"`
-	Iters      int     `json:"kernel_iters"`
-	NaiveIters int     `json:"naive_iters"`
+	KernelNsOp     float64 `json:"kernel_ns_op"`
+	NaiveNsOp      float64 `json:"naive_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	KernelAllocsOp float64 `json:"kernel_allocs_op"`
+	KernelBytesOp  float64 `json:"kernel_b_op"`
+	NaiveAllocsOp  float64 `json:"naive_allocs_op"`
+	NaiveBytesOp   float64 `json:"naive_b_op"`
+	Iters          int     `json:"kernel_iters"`
+	NaiveIters     int     `json:"naive_iters"`
+}
+
+// EngineReport is the schema of BENCH_engine.json.
+type EngineReport struct {
+	Description string        `json:"description"`
+	Go          string        `json:"go"`
+	Generated   string        `json:"generated"`
+	Benchtime   string        `json:"benchtime"`
+	Scales      []EngineScale `json:"scales"`
+}
+
+// EngineScale compares the calendar-queue wheel against the frozen binary
+// heap on one total-event count of the churn workload.
+type EngineScale struct {
+	Events           int     `json:"events"`
+	Resident         int     `json:"resident"`
+	WheelNsEvent     float64 `json:"wheel_ns_event"`
+	HeapNsEvent      float64 `json:"heap_ns_event"`
+	Speedup          float64 `json:"speedup"`
+	WheelEventsSec   float64 `json:"wheel_events_per_sec"`
+	HeapEventsSec    float64 `json:"heap_events_per_sec"`
+	WheelAllocsEvent float64 `json:"wheel_allocs_event"`
+	WheelBytesEvent  float64 `json:"wheel_b_event"`
+	Iters            int     `json:"wheel_iters"`
+	HeapIters        int     `json:"heap_iters"`
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "-diff" {
+		return runDiff(args[1:], out)
+	}
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		outPath   = fs.String("o", "BENCH_core.json", "output JSON path (- for stdout)")
-		sizesFlag = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
-		benchtime = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
+		suite      = fs.String("suite", "all", "which suite to run: all, core, or engine")
+		outPath    = fs.String("o", "BENCH_core.json", "core output JSON path (- for stdout)")
+		enginePath = fs.String("engine-o", "BENCH_engine.json", "engine output JSON path (- for stdout)")
+		sizesFlag  = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
+		eventsFlag = fs.String("events", "10000,100000,1000000", "comma-separated total event counts")
+		benchtime  = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sizes, err := parseSizes(*sizesFlag)
+	switch *suite {
+	case "all", "core", "engine":
+	default:
+		return fmt.Errorf("bad -suite %q (want all, core, or engine)", *suite)
+	}
+	if *suite != "engine" {
+		if err := runCore(out, *outPath, *sizesFlag, *benchtime); err != nil {
+			return err
+		}
+	}
+	if *suite != "core" {
+		if err := runEngine(out, *enginePath, *eventsFlag, *benchtime); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runCore(out io.Writer, outPath, sizesFlag string, benchtime time.Duration) error {
+	sizes, err := parseSizes(sizesFlag)
 	if err != nil {
 		return err
 	}
-
 	rep := Report{
 		Description: "factored probability kernel vs pre-kernel implementation: " +
 			"matrix build, per-round incremental update (one Apply), arrival placement",
@@ -93,26 +156,51 @@ func run(args []string, out io.Writer) error {
 		Benchtime: benchtime.String(),
 	}
 	for _, pms := range sizes {
-		sc, err := measureScale(out, pms, 2*pms, *benchtime)
+		sc, err := measureScale(out, pms, 2*pms, benchtime)
 		if err != nil {
 			return err
 		}
 		rep.Scales = append(rep.Scales, sc)
 	}
+	return writeJSON(out, outPath, rep)
+}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+func runEngine(out io.Writer, outPath, eventsFlag string, benchtime time.Duration) error {
+	counts, err := parseSizes(eventsFlag)
+	if err != nil {
+		return err
+	}
+	rep := EngineReport{
+		Description: "calendar-queue event scheduler vs frozen binary heap (internal/sim/schedheap): " +
+			"steady-state churn, one reschedule per dispatch, pseudo-random delays",
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: benchtime.String(),
+	}
+	for _, n := range counts {
+		sc, err := measureEngineScale(out, n, benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Scales = append(rep.Scales, sc)
+	}
+	return writeJSON(out, outPath, rep)
+}
+
+func writeJSON(out io.Writer, path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *outPath == "-" {
+	if path == "-" {
 		_, err = out.Write(data)
 		return err
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }
 
@@ -121,7 +209,7 @@ func parseSizes(s string) ([]int, error) {
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 2 {
-			return nil, fmt.Errorf("bad -sizes entry %q", f)
+			return nil, fmt.Errorf("bad size entry %q", f)
 		}
 		sizes = append(sizes, n)
 	}
@@ -163,22 +251,44 @@ func benchState(pmCount, nVMs int, seed int64) (*core.Context, []*cluster.VM) {
 	return core.NewContext(dc).At(7200), vms
 }
 
+// sample is one measured operation: mean wall time and mean allocation
+// rate per call.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	bytesPerOp  float64
+	iters       int
+}
+
 // measure repeats op until minDur has elapsed (after one discarded warm-up
-// call) and returns the mean wall time per call.
-func measure(minDur time.Duration, op func() error) (nsPerOp float64, iters int, err error) {
+// call) and returns the mean wall time and heap-allocation rate per call.
+// The alloc figures span the whole loop (runtime.MemStats deltas), so they
+// include whatever the runtime allocates on op's behalf — which is the
+// number that matters for steady-state GC pressure.
+func measure(minDur time.Duration, op func() error) (sample, error) {
 	if err := op(); err != nil {
-		return 0, 0, err
+		return sample{}, err
 	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	var total time.Duration
+	iters := 0
 	for total < minDur {
 		start := time.Now()
 		if err := op(); err != nil {
-			return 0, 0, err
+			return sample{}, err
 		}
 		total += time.Since(start)
 		iters++
 	}
-	return float64(total.Nanoseconds()) / float64(iters), iters, nil
+	runtime.ReadMemStats(&after)
+	return sample{
+		nsPerOp:     float64(total.Nanoseconds()) / float64(iters),
+		allocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		bytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		iters:       iters,
+	}, nil
 }
 
 func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale, error) {
@@ -191,19 +301,20 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 	ctx, vms := benchState(pms, nVMs, seed)
 	sc.VMs = len(vms)
 	var kernelBest, naiveBest [3]float64
-	kNs, kIt, err := measure(benchtime, func() error {
+	k, err := measure(benchtime, func() error {
 		m, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
 		if err != nil {
 			return err
 		}
 		r, c, g, _ := m.Best()
 		kernelBest = [3]float64{float64(r), float64(c), g}
+		m.Release()
 		return nil
 	})
 	if err != nil {
 		return sc, err
 	}
-	nNs, nIt, err := measure(benchtime, func() error {
+	n, err := measure(benchtime, func() error {
 		m, err := oracle.NewMatrix(ctx, factors, vms)
 		if err != nil {
 			return err
@@ -219,7 +330,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		return sc, fmt.Errorf("pms=%d: kernel Best %v != naive Best %v (equivalence violated)",
 			pms, kernelBest, naiveBest)
 	}
-	sc.Build = newMeasurement(kNs, nNs, kIt, nIt)
+	sc.Build = newMeasurement(k, n)
 
 	// Round: the incremental work of one Algorithm 1 round (Apply = two
 	// row refills plus tracker and heap maintenance), ping-ponging the
@@ -237,7 +348,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		}
 		col := m.VM(c)
 		origin, _ := m.RowOf(col.Host)
-		kNs, kIt, err = measure(benchtime, func() error {
+		k, err = measure(benchtime, func() error {
 			if err := m.Apply(r, c); err != nil {
 				return err
 			}
@@ -258,7 +369,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 			return sc, fmt.Errorf("pms=%d: no positive-gain move in the naive bench state", pms)
 		}
 		origin := m.CurRow(c)
-		nNs, nIt, err = measure(benchtime, func() error {
+		n, err = measure(benchtime, func() error {
 			if err := m.Apply(r, c); err != nil {
 				return err
 			}
@@ -269,13 +380,13 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		}
 	}
 	// Halve: one measured op is two Applies (there and back).
-	sc.Round = newMeasurement(kNs/2, nNs/2, kIt, nIt)
+	sc.Round = newMeasurement(halve(k), halve(n))
 
 	// Arrival: place one new VM.
 	{
 		ctx, _ := benchState(pms, nVMs, seed)
 		arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
-		kNs, kIt, err = measure(benchtime, func() error {
+		k, err = measure(benchtime, func() error {
 			if core.BestPlacement(ctx, factors, arrival) == nil {
 				return fmt.Errorf("no placement found")
 			}
@@ -286,7 +397,7 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 		}
 		var kPM, nPM *cluster.PM
 		kPM = core.BestPlacement(ctx, factors, arrival)
-		nNs, nIt, err = measure(benchtime, func() error {
+		n, err = measure(benchtime, func() error {
 			if oracle.BestPlacement(ctx, factors, arrival) == nil {
 				return fmt.Errorf("no placement found")
 			}
@@ -300,20 +411,240 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 			return sc, fmt.Errorf("pms=%d: arrival kernel PM %d != naive PM %d", pms, kPM.ID, nPM.ID)
 		}
 	}
-	sc.Arrival = newMeasurement(kNs, nNs, kIt, nIt)
+	sc.Arrival = newMeasurement(k, n)
 
-	fmt.Fprintf(out, "pms=%-6d vms=%-6d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.3fms vs %.3fms)  arrival %.2fx (%.1fus vs %.1fus)\n",
+	fmt.Fprintf(out, "pms=%-6d vms=%-6d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.3fms vs %.3fms)  arrival %.2fx (%.1fus vs %.1fus, %.1f allocs)\n",
 		sc.PMs, sc.VMs,
 		sc.Build.Speedup, sc.Build.KernelNsOp/1e6, sc.Build.NaiveNsOp/1e6,
 		sc.Round.Speedup, sc.Round.KernelNsOp/1e6, sc.Round.NaiveNsOp/1e6,
-		sc.Arrival.Speedup, sc.Arrival.KernelNsOp/1e3, sc.Arrival.NaiveNsOp/1e3)
+		sc.Arrival.Speedup, sc.Arrival.KernelNsOp/1e3, sc.Arrival.NaiveNsOp/1e3,
+		sc.Arrival.KernelAllocsOp)
 	return sc, nil
 }
 
-func newMeasurement(kNs, nNs float64, kIt, nIt int) Measurement {
-	m := Measurement{KernelNsOp: kNs, NaiveNsOp: nNs, Iters: kIt, NaiveIters: nIt}
-	if kNs > 0 {
-		m.Speedup = nNs / kNs
+func halve(s sample) sample {
+	s.nsPerOp /= 2
+	s.allocsPerOp /= 2
+	s.bytesPerOp /= 2
+	return s
+}
+
+func newMeasurement(k, n sample) Measurement {
+	m := Measurement{
+		KernelNsOp: k.nsPerOp, NaiveNsOp: n.nsPerOp,
+		KernelAllocsOp: k.allocsPerOp, KernelBytesOp: k.bytesPerOp,
+		NaiveAllocsOp: n.allocsPerOp, NaiveBytesOp: n.bytesPerOp,
+		Iters: k.iters, NaiveIters: n.iters,
+	}
+	if k.nsPerOp > 0 {
+		m.Speedup = n.nsPerOp / k.nsPerOp
 	}
 	return m
+}
+
+// churnDelay is the deterministic delay stream both scheduler
+// implementations consume (xorshift64, same seed, same mapping).
+type churnDelay uint64
+
+func (d *churnDelay) next() float64 {
+	x := uint64(*d)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*d = churnDelay(x)
+	return float64(x%1024)/16 + 0.001
+}
+
+const churnSeed = 0x243F6A8885A308D3
+
+// residentFor sizes the live event set for a total-event count: 1% of the
+// total, clamped to [64, 10k] (a simulation's pending set grows far slower
+// than its dispatch count).
+func residentFor(events int) int {
+	r := events / 100
+	if r < 64 {
+		r = 64
+	}
+	if r > 10_000 {
+		r = 10_000
+	}
+	return r
+}
+
+// wheelChurn dispatches exactly total events through the calendar-queue
+// engine: a resident set of self-rescheduling callbacks with pseudo-random
+// delays, the same workload the heap side runs.
+func wheelChurn(resident, total int) error {
+	var e sim.Engine
+	d := churnDelay(churnSeed)
+	fired := 0
+	var fire func()
+	fire = func() {
+		fired++
+		if fired+e.Pending() < total {
+			e.ScheduleAfter(d.next(), fire)
+		}
+	}
+	for i := 0; i < resident && i < total; i++ {
+		e.ScheduleAfter(d.next(), fire)
+	}
+	e.Run()
+	if fired != total {
+		return fmt.Errorf("wheel dispatched %d of %d events", fired, total)
+	}
+	return nil
+}
+
+// heapChurn is wheelChurn against the frozen binary-heap scheduler.
+func heapChurn(resident, total int) error {
+	var e schedheap.Engine
+	d := churnDelay(churnSeed)
+	fired := 0
+	var fire func()
+	fire = func() {
+		fired++
+		if fired+e.Pending() < total {
+			e.ScheduleAfter(d.next(), fire)
+		}
+	}
+	for i := 0; i < resident && i < total; i++ {
+		e.ScheduleAfter(d.next(), fire)
+	}
+	e.Run()
+	if fired != total {
+		return fmt.Errorf("heap dispatched %d of %d events", fired, total)
+	}
+	return nil
+}
+
+func measureEngineScale(out io.Writer, events int, benchtime time.Duration) (EngineScale, error) {
+	resident := residentFor(events)
+	sc := EngineScale{Events: events, Resident: resident}
+	w, err := measure(benchtime, func() error { return wheelChurn(resident, events) })
+	if err != nil {
+		return sc, err
+	}
+	h, err := measure(benchtime, func() error { return heapChurn(resident, events) })
+	if err != nil {
+		return sc, err
+	}
+	ev := float64(events)
+	sc.WheelNsEvent = w.nsPerOp / ev
+	sc.HeapNsEvent = h.nsPerOp / ev
+	if sc.WheelNsEvent > 0 {
+		sc.Speedup = sc.HeapNsEvent / sc.WheelNsEvent
+	}
+	sc.WheelEventsSec = 1e9 / sc.WheelNsEvent
+	sc.HeapEventsSec = 1e9 / sc.HeapNsEvent
+	sc.WheelAllocsEvent = w.allocsPerOp / ev
+	sc.WheelBytesEvent = w.bytesPerOp / ev
+	sc.Iters, sc.HeapIters = w.iters, h.iters
+
+	fmt.Fprintf(out, "events=%-8d wheel %.1fns/ev (%.2fM ev/s, %.4f allocs/ev)  heap %.1fns/ev (%.2fM ev/s)  speedup %.2fx\n",
+		events, sc.WheelNsEvent, sc.WheelEventsSec/1e6, sc.WheelAllocsEvent,
+		sc.HeapNsEvent, sc.HeapEventsSec/1e6, sc.Speedup)
+	return sc, nil
+}
+
+// runDiff compares two benchreport JSON files (either schema) and warns
+// about per-operation timing regressions beyond the threshold. It never
+// fails the build — the numbers are machine-local — but gives CI and
+// humans a one-command regression check (`make bench-diff`).
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport -diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchreport -diff [-threshold 0.2] old.json new.json")
+	}
+	oldM, err := loadMetrics(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newM, err := loadMetrics(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return fmt.Errorf("no comparable metrics between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	regressions := 0
+	for _, k := range keys {
+		o, n := oldM[k], newM[k]
+		if o <= 0 {
+			continue
+		}
+		rel := n/o - 1
+		switch {
+		case rel > *threshold:
+			regressions++
+			fmt.Fprintf(out, "WARN  %-40s %12.1f -> %12.1f ns  (%+.0f%%)\n", k, o, n, rel*100)
+		case rel < -*threshold:
+			fmt.Fprintf(out, "good  %-40s %12.1f -> %12.1f ns  (%+.0f%%)\n", k, o, n, rel*100)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(out, "bench-diff: %d metrics within %.0f%% of %s\n",
+			len(keys), *threshold*100, fs.Arg(0))
+	} else {
+		fmt.Fprintf(out, "bench-diff: %d of %d metrics regressed more than %.0f%%\n",
+			regressions, len(keys), *threshold*100)
+	}
+	return nil
+}
+
+// loadMetrics flattens a benchreport JSON file into metric -> ns-per-op
+// entries. It is schema-agnostic: every numeric leaf whose key ends in
+// _ns_op or _ns_event is collected, keyed by scale (pms=N or events=N) and
+// field path, so core and engine reports both work and future fields join
+// automatically.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Scales []map[string]any `json:"scales"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	metrics := make(map[string]float64)
+	for _, scale := range doc.Scales {
+		prefix := ""
+		if v, ok := scale["pms"].(float64); ok {
+			prefix = fmt.Sprintf("pms=%d", int(v))
+		} else if v, ok := scale["events"].(float64); ok {
+			prefix = fmt.Sprintf("events=%d", int(v))
+		}
+		var walk func(string, any)
+		walk = func(key string, v any) {
+			switch t := v.(type) {
+			case map[string]any:
+				for k, sub := range t {
+					walk(key+"/"+k, sub)
+				}
+			case float64:
+				if strings.HasSuffix(key, "_ns_op") || strings.HasSuffix(key, "_ns_event") {
+					metrics[prefix+key] = t
+				}
+			}
+		}
+		for k, v := range scale {
+			walk("/"+k, v)
+		}
+	}
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("%s: no timing metrics found", path)
+	}
+	return metrics, nil
 }

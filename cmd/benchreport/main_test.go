@@ -14,7 +14,7 @@ import (
 func TestRunSmallFleet(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-sizes", "8,16", "-benchtime", "5ms", "-o", out}, &buf); err != nil {
+	if err := run([]string{"-suite", "core", "-sizes", "8,16", "-benchtime", "5ms", "-o", out}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -45,6 +45,43 @@ func TestRunSmallFleet(t *testing.T) {
 				t.Errorf("pms=%d %s: missing iteration counts %+v", sc.PMs, name, m)
 			}
 		}
+	}
+}
+
+// TestRunEngineSuite drives the scheduler comparison at a tiny scale,
+// checks the schema, then feeds the report through -diff against itself
+// (which must find every metric within threshold).
+func TestRunEngineSuite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "engine.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-suite", "engine", "-events", "2000,5000", "-benchtime", "5ms", "-engine-o", out}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep EngineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if len(rep.Scales) != 2 {
+		t.Fatalf("got %d scales, want 2", len(rep.Scales))
+	}
+	for _, sc := range rep.Scales {
+		if sc.WheelNsEvent <= 0 || sc.HeapNsEvent <= 0 || sc.Speedup <= 0 {
+			t.Errorf("events=%d: non-positive measurements %+v", sc.Events, sc)
+		}
+		if sc.Resident <= 0 || sc.Iters <= 0 || sc.HeapIters <= 0 {
+			t.Errorf("events=%d: missing shape fields %+v", sc.Events, sc)
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-diff", out, out}, &buf); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("within")) {
+		t.Fatalf("self-diff reported regressions:\n%s", buf.String())
 	}
 }
 

@@ -143,6 +143,22 @@ func SpareCheck(cfg spare.Config, dc *cluster.Datacenter, last func() *spare.Pla
 	}
 }
 
+// QueueCheck verifies the event engine's calendar-queue invariants by
+// delegating to its full-structure walk (sim.Engine.VerifyQueue): the
+// live-event count the control loop's liveness test relies on must match
+// an exhaustive walk of every bucket, and the queue must be consistently
+// linked, sorted, and bucketed. verify is the engine's walk so the audit
+// package does not import the simulation it is auditing.
+func QueueCheck(verify func() error) Check {
+	return Check{
+		Name:     "queue",
+		PerEvent: true,
+		Fn: func(now float64) error {
+			return verify()
+		},
+	}
+}
+
 // TrackerCheck is the differential oracle: it rebuilds the probability
 // matrix three ways over the currently migratable VMs — the factored
 // kernel, the generic Factor path (DisableKernel), and the frozen naive

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/vector"
@@ -152,6 +153,19 @@ func (d *Datacenter) ActivePMs() []*PM {
 	return out
 }
 
+// AppendActivePMs appends the on/booting PMs to dst in ID order and
+// returns the extended slice. It is the allocation-free form of ActivePMs
+// for hot paths (the per-arrival placement argmax, matrix construction)
+// that keep a reusable backing slice across calls.
+func (d *Datacenter) AppendActivePMs(dst []*PM) []*PM {
+	for _, p := range d.pms {
+		if p.State == PMOn || p.State == PMBooting {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
 // CountByState returns how many PMs are in each state.
 func (d *Datacenter) CountByState() map[PMState]int {
 	m := make(map[PMState]int)
@@ -215,6 +229,41 @@ func (d *Datacenter) RunningVMs() []*VM {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// AppendVMsInState appends every placed VM in state st to dst, sorted by
+// ID within the appended span, and returns the extended slice. The
+// allocation-free form of filtering RunningVMs for callers with a
+// reusable backing slice (the consolidation pass rebuilds its column set
+// every control period).
+func (d *Datacenter) AppendVMsInState(dst []*VM, st VMState) []*VM {
+	start := len(dst)
+	for _, p := range d.pms {
+		for _, vm := range p.vms {
+			if vm.State == st {
+				dst = append(dst, vm)
+			}
+		}
+	}
+	// slices.SortFunc rather than sort.Slice: the generic sort keeps this
+	// path allocation-free, which is the method's reason to exist.
+	slices.SortFunc(dst[start:], func(a, b *VM) int { return int(a.ID) - int(b.ID) })
+	return dst
+}
+
+// CountVMs returns how many placed VMs satisfy pred. Iteration order is
+// unspecified — the predicate must not depend on it. Allocation-free
+// (unlike materializing RunningVMs just to count a subset).
+func (d *Datacenter) CountVMs(pred func(*VM) bool) int {
+	n := 0
+	for _, p := range d.pms {
+		for _, vm := range p.vms {
+			if pred(vm) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // VMCount returns the total number of placed VMs.

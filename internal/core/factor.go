@@ -51,6 +51,14 @@ type Context struct {
 	// M*N times per consolidation, so recomputing these per entry
 	// dominates the run otherwise.
 	classes map[*cluster.PMClass]*classInfo
+
+	// Reusable hot-path scratch (scratch.go): mscratch backs matrix
+	// builds via checkout, arr backs the per-arrival argmax, vmBuf backs
+	// the consolidation pass's column collection. Their presence is why a
+	// Context is not safe for concurrent use.
+	mscratch *matrixScratch
+	arr      arrivalScratch
+	vmBuf    []*cluster.VM
 }
 
 // classInfo holds the per-class constants of Section III.B.4.

@@ -52,24 +52,25 @@ type term struct {
 	f  Factor // only for opGeneric
 }
 
-// compileTerms translates a factor list into a term program. known reports
-// whether at least one of the paper's factors was recognized; when none
-// is, the kernel adds only overhead and callers should stay on the
-// generic path.
-func compileTerms(factors []Factor) (terms []term, known bool) {
-	terms = make([]term, len(factors))
-	for i, f := range factors {
+// compileTerms translates a factor list into a term program, appending to
+// dst (pass a reused slice truncated to zero for allocation-free
+// recompiles). known reports whether at least one of the paper's factors
+// was recognized; when none is, the kernel adds only overhead and callers
+// should stay on the generic path.
+func compileTerms(dst []term, factors []Factor) (terms []term, known bool) {
+	terms = dst
+	for _, f := range factors {
 		switch f.(type) {
 		case ResourceFactor:
-			terms[i] = term{op: opRes}
+			terms = append(terms, term{op: opRes})
 		case VirtualizationFactor:
-			terms[i] = term{op: opVir}
+			terms = append(terms, term{op: opVir})
 		case ReliabilityFactor:
-			terms[i] = term{op: opRel}
+			terms = append(terms, term{op: opRel})
 		case EfficiencyFactor:
-			terms[i] = term{op: opEff}
+			terms = append(terms, term{op: opEff})
 		default:
-			terms[i] = term{op: opGeneric, f: f}
+			terms = append(terms, term{op: opGeneric, f: f})
 			continue
 		}
 		known = true
@@ -107,33 +108,53 @@ type kernel struct {
 	demIdx  []int
 }
 
-// newKernel compiles factors over the given rows and columns. ok is false
-// when no known factor is present (pure user-factor matrices), in which
-// case the caller should evaluate generically.
+// newKernel compiles factors over the given rows and columns into fresh
+// storage. ok is false when no known factor is present (pure user-factor
+// matrices), in which case the caller should evaluate generically.
 func newKernel(ctx *Context, factors []Factor, pms []*cluster.PM, vms []*cluster.VM) (*kernel, bool) {
-	terms, known := compileTerms(factors)
+	return newKernelInto(&kernScratch{}, ctx, factors, pms, vms)
+}
+
+// newKernelInto is newKernel building into reusable scratch storage: the
+// returned kernel is ks.kern with every slice and map drawn from ks, so a
+// caller that compiles a kernel per event (the arrival path) or per
+// control period (matrix builds) allocates nothing once the scratch has
+// grown to the working size. The kernel aliases ks and is valid only
+// until the next newKernelInto over the same scratch.
+func newKernelInto(ks *kernScratch, ctx *Context, factors []Factor, pms []*cluster.PM, vms []*cluster.VM) (*kernel, bool) {
+	terms, known := compileTerms(ks.terms[:0], factors)
+	ks.terms = terms
 	if !known {
 		return nil, false
 	}
-	k := &kernel{ctx: ctx, terms: terms}
+	k := &ks.kern
+	*k = kernel{ctx: ctx, terms: terms}
 	k.isDefault = len(terms) == 4 &&
 		terms[0].op == opRes && terms[1].op == opVir &&
 		terms[2].op == opRel && terms[3].op == opEff
 
-	classIdx := make(map[*cluster.PMClass]int, 4)
-	k.rowClass = make([]int, len(pms))
+	if ks.classIdx == nil {
+		ks.classIdx = make(map[*cluster.PMClass]int, 4)
+	} else {
+		clear(ks.classIdx)
+	}
+	k.rowClass = growInts(ks.rowClass, len(pms))
+	ks.rowClass = k.rowClass
+	k.infos = ks.infos[:0]
 	for r, pm := range pms {
-		ci, seen := classIdx[pm.Class]
+		ci, seen := ks.classIdx[pm.Class]
 		if !seen {
 			ci = len(k.infos)
-			classIdx[pm.Class] = ci
+			ks.classIdx[pm.Class] = ci
 			k.infos = append(k.infos, ctx.classInfoFor(pm))
 		}
 		k.rowClass[r] = ci
 	}
+	ks.infos = k.infos
 
 	nc := len(k.infos)
-	k.vir = make([]float64, len(vms)*nc)
+	k.vir = growFloats(ks.vir, len(vms)*nc)
+	ks.vir = k.vir
 	for c, vm := range vms {
 		tre := vm.RemainingEstimate(ctx.Now)
 		for ci := range k.infos {
@@ -148,7 +169,7 @@ func newKernel(ctx *Context, factors []Factor, pms []*cluster.PM, vms []*cluster
 	}
 
 	if k.isDefault {
-		k.internDemands(vms)
+		k.internDemands(ks, vms)
 	}
 	return k, true
 }
@@ -156,23 +177,31 @@ func newKernel(ctx *Context, factors []Factor, pms []*cluster.PM, vms []*cluster
 // internDemands assigns each column a compact demand-shape index, keyed on
 // the exact bit patterns of the demand vector so memoized p_res/p_eff
 // values are bit-identical to a per-cell evaluation.
-func (k *kernel) internDemands(vms []*cluster.VM) {
-	k.demIdx = make([]int, len(vms))
-	shapes := make(map[string]int, 16)
-	var key []byte
+func (k *kernel) internDemands(ks *kernScratch, vms []*cluster.VM) {
+	k.demIdx = growInts(ks.demIdx, len(vms))
+	ks.demIdx = k.demIdx
+	if ks.shapes == nil {
+		ks.shapes = make(map[string]int, 16)
+	} else {
+		clear(ks.shapes)
+	}
+	k.demands = ks.demands[:0]
+	key := ks.key
 	for c, vm := range vms {
 		key = key[:0]
 		for _, x := range vm.Demand {
 			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(x))
 		}
-		di, seen := shapes[string(key)]
+		di, seen := ks.shapes[string(key)]
 		if !seen {
 			di = len(k.demands)
-			shapes[string(key)] = di
+			ks.shapes[string(key)] = di
 			k.demands = append(k.demands, vm.Demand)
 		}
 		k.demIdx[c] = di
 	}
+	ks.key = key
+	ks.demands = k.demands
 }
 
 // classCreationTime returns the CreationTime of the class at compact index
@@ -191,8 +220,10 @@ func classCreationTime(pms []*cluster.PM, rowClass []int, ci int) float64 {
 // factor program this computes feasibility and the efficiency level once
 // per distinct demand shape (D evaluations) and composes the remaining
 // per-cell work from cached terms; otherwise it falls back to per-cell
-// evaluation through the term program.
-func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64) {
+// evaluation through the term program. rs supplies the demand-shape memo
+// buffers — callers reuse one per goroutine, so the per-row fill
+// allocates nothing.
+func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64, rs *rowScratch) {
 	if !k.isDefault {
 		for c, vm := range vms {
 			out[c] = k.cell(r, c, pm, vm, vm.Host == pm.ID)
@@ -207,9 +238,7 @@ func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64
 	// Per-demand-shape memo for this row: p_res (feasibility) and the
 	// non-host p_eff. Identical inputs to the per-cell path (the interned
 	// shape aliases a column's exact demand vector), so identical bits.
-	d := len(k.demands)
-	feas := make([]bool, d)
-	eff := make([]float64, d)
+	feas, eff := rs.buffers(len(k.demands))
 	for di, demand := range k.demands {
 		if pm.CanHost(demand) {
 			feas[di] = true

@@ -35,6 +35,7 @@ func BenchmarkKernelMatrixBuild(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/pms%d", benchPath(disable), pms), func(b *testing.B) {
 				ctx, vms := tableIIState(b, pms, 2*pms, 7)
 				opts := MatrixOptions{DisableKernel: disable}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := NewMatrixWith(ctx, DefaultFactors(), vms, opts); err != nil {
@@ -65,6 +66,7 @@ func BenchmarkKernelMatrixRound(b *testing.B) {
 					b.Fatal("no positive-gain move in the bench state")
 				}
 				origin := m.curRow[c]
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := m.Apply(r, c); err != nil {
@@ -90,6 +92,7 @@ func BenchmarkKernelArrival(b *testing.B) {
 				ctx, _ := tableIIState(b, pms, 2*pms, 7)
 				arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
 				factors := DefaultFactors()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					var pm *cluster.PM

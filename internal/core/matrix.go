@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -78,6 +78,10 @@ type Matrix struct {
 	// pending is recomputeRow's reusable scratch list of columns that
 	// need a full rescan.
 	pending []int
+
+	// scr is the checked-out backing storage behind every slice above
+	// (scratch.go); Release returns it to the Context. Nil after Release.
+	scr *matrixScratch
 }
 
 // topK is the depth of the per-column exact candidate list. Deep enough
@@ -119,54 +123,68 @@ func NewMatrixWith(ctx *Context, factors []Factor, vms []*cluster.VM, opts Matri
 	if len(factors) == 0 {
 		return nil, fmt.Errorf("core: matrix needs at least one factor")
 	}
+	scr := ctx.takeScratch()
 	m := &Matrix{
 		ctx:     ctx,
 		factors: factors,
 		opts:    opts,
-		pms:     ctx.DC.ActivePMs(),
-		rowOf:   make(map[cluster.PMID]int),
-		colOf:   make(map[cluster.VMID]int),
+		scr:     scr,
+		pms:     ctx.DC.AppendActivePMs(scr.pms[:0]),
+		rowOf:   scr.rowOf,
+		colOf:   scr.colOf,
 	}
-	sort.Slice(m.pms, func(i, j int) bool { return m.pms[i].ID < m.pms[j].ID })
+	// AppendActivePMs already yields ID order; the sort documents the row
+	// contract and is O(M) on sorted input (slices.SortFunc: no
+	// allocation, unlike sort.Slice).
+	slices.SortFunc(m.pms, func(a, b *cluster.PM) int { return int(a.ID) - int(b.ID) })
 	for r, pm := range m.pms {
 		m.rowOf[pm.ID] = r
 	}
 
-	m.vms = append(m.vms, vms...)
-	sort.Slice(m.vms, func(i, j int) bool { return m.vms[i].ID < m.vms[j].ID })
+	m.vms = append(scr.vms[:0], vms...)
+	slices.SortFunc(m.vms, func(a, b *cluster.VM) int { return int(a.ID) - int(b.ID) })
 	for c, vm := range m.vms {
 		if _, dup := m.colOf[vm.ID]; dup {
+			m.Release()
 			return nil, fmt.Errorf("core: duplicate VM %d in matrix", vm.ID)
 		}
 		if _, ok := m.rowOf[vm.Host]; !ok {
+			m.Release()
 			return nil, fmt.Errorf("core: VM %d hosted on inactive PM %d", vm.ID, vm.Host)
 		}
 		m.colOf[vm.ID] = c
 	}
 
 	if !opts.DisableKernel {
-		m.kern, _ = newKernel(ctx, factors, m.pms, m.vms)
+		m.kern, _ = newKernelInto(&scr.ks, ctx, factors, m.pms, m.vms)
 	}
 
-	m.p = make([][]float64, len(m.pms))
-	for r := range m.p {
-		m.p[r] = make([]float64, len(m.vms))
+	nr, nc := len(m.pms), len(m.vms)
+	scr.pflat = growFloats(scr.pflat, nr*nc)
+	if cap(scr.prows) < nr {
+		scr.prows = make([][]float64, nr)
 	}
-	m.curRow = make([]int, len(m.vms))
-	m.curProb = make([]float64, len(m.vms))
-	m.bestRow = make([]int, len(m.vms))
-	m.bestGain = make([]float64, len(m.vms))
-	m.bestP = make([]float64, len(m.vms))
-	m.topRows = make([]int32, topK*len(m.vms))
-	m.topPs = make([]float64, topK*len(m.vms))
-	m.topLen = make([]int32, len(m.vms))
+	m.p = scr.prows[:nr]
+	for r := range m.p {
+		m.p[r] = scr.pflat[r*nc : (r+1)*nc : (r+1)*nc]
+	}
+	m.curRow = growInts(scr.curRow, nc)
+	m.curProb = growFloats(scr.curProb, nc)
+	m.bestRow = growInts(scr.bestRow, nc)
+	m.bestGain = growFloats(scr.bestGain, nc)
+	m.bestP = growFloats(scr.bestP, nc)
+	m.topRows = growInt32s(scr.topRows, topK*nc)
+	m.topPs = growFloats(scr.topPs, topK*nc)
+	m.topLen = growInt32s(scr.topLen, nc)
+	m.heap, m.hpos = scr.heap[:0], scr.hpos[:0]
+	m.pending = scr.pending[:0]
 
 	m.fill()
-	all := make([]int, len(m.vms))
-	for c := range all {
-		all[c] = c
+	scr.cols = growInts(scr.cols, nc)
+	for c := range scr.cols {
+		scr.cols[c] = c
 	}
-	m.refreshColumns(all)
+	m.refreshColumns(scr.cols)
 	m.buildHeap()
 	return m, nil
 }
@@ -219,9 +237,13 @@ func (m *Matrix) fill() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns its demand-shape memo buffers; the
+			// matrix's serial rowScratch cannot be shared across
+			// goroutines.
+			var rs rowScratch
 			for span := range chunks {
 				for r := span[0]; r < span[1]; r++ {
-					m.fillRow(r)
+					m.fillRowWith(r, &rs)
 				}
 			}
 		}()
@@ -237,12 +259,19 @@ func (m *Matrix) fill() {
 	wg.Wait()
 }
 
-// fillRow evaluates every cell of row r.
+// fillRow evaluates every cell of row r using the matrix's serial row
+// scratch (the single-threaded fill, recomputeRow).
 func (m *Matrix) fillRow(r int) {
+	m.fillRowWith(r, &m.scr.rs)
+}
+
+// fillRowWith evaluates every cell of row r with an explicit row scratch,
+// so parallel fillers can each bring their own.
+func (m *Matrix) fillRowWith(r int, rs *rowScratch) {
 	pm := m.pms[r]
 	row := m.p[r]
 	if m.kern != nil {
-		m.kern.fillRow(r, pm, m.vms, row)
+		m.kern.fillRow(r, pm, m.vms, row, rs)
 		return
 	}
 	for c, vm := range m.vms {
@@ -529,11 +558,9 @@ func (m *Matrix) better(a, b int) bool {
 
 // buildHeap heapifies all columns once the initial trackers are computed.
 func (m *Matrix) buildHeap() {
-	m.heap = make([]int, len(m.vms))
-	m.hpos = make([]int, len(m.vms))
-	for i := range m.heap {
-		m.heap[i] = i
-		m.hpos[i] = i
+	for i := 0; i < len(m.vms); i++ {
+		m.heap = append(m.heap, i)
+		m.hpos = append(m.hpos, i)
 	}
 	for i := len(m.heap)/2 - 1; i >= 0; i-- {
 		m.siftDown(i)
@@ -543,7 +570,7 @@ func (m *Matrix) buildHeap() {
 // fixColumn restores the heap invariant after column c's bestGain changed.
 // No-op before the heap exists (during the initial tracker pass).
 func (m *Matrix) fixColumn(c int) {
-	if m.hpos == nil {
+	if len(m.hpos) == 0 {
 		return
 	}
 	m.siftUp(m.hpos[c])
@@ -766,6 +793,7 @@ func (m *Matrix) verifyRebuild() error {
 	if err != nil {
 		return fmt.Errorf("core: rebuild failed: %w", err)
 	}
+	defer fresh.Release()
 	if err := m.SelfCheck(); err != nil {
 		return err
 	}

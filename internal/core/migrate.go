@@ -56,7 +56,8 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	vms := runningVMs(ctx.DC)
+	ctx.vmBuf = ctx.DC.AppendVMsInState(ctx.vmBuf[:0], cluster.VMRunning)
+	vms := ctx.vmBuf
 	if len(vms) == 0 {
 		return nil, nil
 	}
@@ -66,6 +67,7 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 	if err != nil {
 		return nil, err
 	}
+	defer m.Release()
 	stop = ctx.Obs.Phase("algo1_rounds").Time()
 	var moves []Move
 	for round := 1; round <= params.MIGRound; round++ {
@@ -91,26 +93,14 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 	return moves, nil
 }
 
-// runningVMs collects the VMs eligible for migration, sorted by ID.
-func runningVMs(dc *cluster.Datacenter) []*cluster.VM {
-	return MigratableVMs(dc)
-}
-
 // MigratableVMs returns the VMs eligible for Algorithm 1 — state Running;
 // creating and migrating VMs are in transition and queued VMs hold no
-// resources — sorted by ID. The sort is explicit rather than inherited
-// from dc.RunningVMs(): Algorithm 1's tie-breaks are ID-ordered, so the
-// column order must hold by construction here, not by the accident of an
-// upstream implementation detail (the determinism tests assert it).
+// resources — sorted by ID. The sort holds by construction
+// (AppendVMsInState sorts the appended span): Algorithm 1's tie-breaks
+// are ID-ordered, so the column order must not depend on an upstream
+// implementation accident (the determinism tests assert it).
 func MigratableVMs(dc *cluster.Datacenter) []*cluster.VM {
-	var out []*cluster.VM
-	for _, vm := range dc.RunningVMs() {
-		if vm.State == cluster.VMRunning {
-			out = append(out, vm)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return dc.AppendVMsInState(nil, cluster.VMRunning)
 }
 
 // Placement scores one candidate PM for a new VM request.
@@ -129,8 +119,7 @@ type Placement struct {
 // with the highest probability". Callers that only need the argmax should
 // use BestPlacement, which is sort- and allocation-free.
 func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement {
-	pms := ctx.DC.ActivePMs()
-	k, useKernel := newKernel(ctx, factors, pms, []*cluster.VM{vm})
+	pms, k, useKernel := ctx.arrivalKernel(factors, vm)
 	var out []Placement
 	for r, pm := range pms {
 		var p float64
@@ -159,8 +148,7 @@ func RankPlacements(ctx *Context, factors []Factor, vm *cluster.VM) []Placement 
 // (ActivePMs iterates in ID order), matching RankPlacements' first entry.
 func BestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
 	defer ctx.Obs.Phase("arrival_place").Time()()
-	pms := ctx.DC.ActivePMs()
-	k, useKernel := newKernel(ctx, factors, pms, []*cluster.VM{vm})
+	pms, k, useKernel := ctx.arrivalKernel(factors, vm)
 	var best *cluster.PM
 	bestP := 0.0
 	for r, pm := range pms {
@@ -175,4 +163,15 @@ func BestPlacement(ctx *Context, factors []Factor, vm *cluster.VM) *cluster.PM {
 		}
 	}
 	return best
+}
+
+// arrivalKernel assembles the active-PM row set and single-column kernel
+// for one arrival evaluation out of the Context's arrival scratch, so the
+// per-event cost is the argmax pass itself rather than slice and map
+// construction.
+func (ctx *Context) arrivalKernel(factors []Factor, vm *cluster.VM) ([]*cluster.PM, *kernel, bool) {
+	ctx.arr.pms = ctx.DC.AppendActivePMs(ctx.arr.pms[:0])
+	ctx.arr.vmBuf[0] = vm
+	k, useKernel := newKernelInto(&ctx.arr.ks, ctx, factors, ctx.arr.pms, ctx.arr.vmBuf[:])
+	return ctx.arr.pms, k, useKernel
 }

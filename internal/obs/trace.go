@@ -63,9 +63,15 @@ type Tracer struct {
 	wall func() int64 // injectable for tests
 }
 
-// NewTracer returns a tracer writing to w.
+// NewTracer returns a tracer writing to w. The line buffer is
+// preallocated so steady-state emission reallocates only for lines that
+// outgrow every predecessor.
 func NewTracer(w io.Writer) *Tracer {
-	return &Tracer{w: w, wall: func() int64 { return time.Now().UnixNano() }}
+	return &Tracer{
+		w:    w,
+		buf:  make([]byte, 0, 512),
+		wall: func() int64 { return time.Now().UnixNano() },
+	}
 }
 
 // Emit writes one event line.

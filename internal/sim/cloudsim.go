@@ -208,12 +208,12 @@ type simulator struct {
 	bootReadyAt map[cluster.PMID]float64
 
 	// failEvent tracks the pending failure event per powered-on PM.
-	failEvent map[cluster.PMID]*Event
+	failEvent map[cluster.PMID]Event
 
 	// lifeEvent tracks each placed VM's next lifecycle event (creation
 	// completion or departure) so a PM failure can cancel it before
 	// re-queueing the VM.
-	lifeEvent map[cluster.VMID]*Event
+	lifeEvent map[cluster.VMID]Event
 
 	// holds tracks in-flight timed migrations' source-side reservations.
 	holds map[cluster.VMID]*migrationHold
@@ -303,8 +303,8 @@ func (s *simulator) run() (*Result, error) {
 	s.meter = power.NewMeter(s.dc, s.cfg.MeterBin)
 	s.reqOf = make(map[cluster.VMID]workload.Request, len(s.cfg.Requests))
 	s.bootReadyAt = make(map[cluster.PMID]float64)
-	s.failEvent = make(map[cluster.PMID]*Event)
-	s.lifeEvent = make(map[cluster.VMID]*Event)
+	s.failEvent = make(map[cluster.PMID]Event)
+	s.lifeEvent = make(map[cluster.VMID]Event)
 	s.holds = make(map[cluster.VMID]*migrationHold)
 	s.res = &Result{
 		Scheme:          s.cfg.Placer.Name(),
@@ -434,6 +434,7 @@ func (s *simulator) setupAudit() {
 	}
 	s.aud = &audit.Auditor{}
 	s.aud.Register(audit.StateCheck(s.dc))
+	s.aud.Register(audit.QueueCheck(s.eng.VerifyQueue))
 	s.aud.Register(audit.EnergyCheck(s.meter, s.dc))
 	s.aud.Register(audit.ConservationCheck(s.dc, func() (arrived, queued, finished, rejected int) {
 		return s.arrived, len(s.queue), s.res.Summary.VMsCompleted, s.res.Summary.Rejected
@@ -856,7 +857,7 @@ type migrationHold struct {
 	vm     *cluster.VM
 	source *cluster.PM
 	demand vector.V
-	done   *Event
+	done   Event
 }
 
 // beginTimedMigration converts an already-applied (instant) move into a

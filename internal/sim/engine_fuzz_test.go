@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sim/schedheap"
+)
+
+// schedPair drives the calendar-queue engine and the frozen binary-heap
+// reference (internal/sim/schedheap) through identical byte-encoded
+// operation sequences — schedules, cancels, steps, bounded advances,
+// nested schedules from inside callbacks — and requires the dispatch
+// sequences to be bit-identical. This is the executable form of the
+// wheel's correctness argument: the (time, seq) total order the heap
+// defines is exactly what the year-window search dispatches.
+type schedPair struct {
+	t     *testing.T
+	wheel Engine
+	heap  schedheap.Engine
+
+	wlog, hlog []int
+	wlive      []Event
+	hlive      []*schedheap.Event
+	nextTag    int
+	ops        int
+}
+
+// childBase offsets the tags of events spawned from inside callbacks so
+// they never collide with top-level tags (and never spawn grandchildren).
+const childBase = 1 << 20
+
+func (p *schedPair) schedule(at float64) {
+	tag := p.nextTag
+	p.nextTag++
+	p.wlive = append(p.wlive, p.wheel.Schedule(at, func() {
+		p.wlog = append(p.wlog, tag)
+		if tag%5 == 0 {
+			ct := childBase + tag
+			p.wheel.ScheduleAfter(1.5, func() { p.wlog = append(p.wlog, ct) })
+		}
+	}))
+	p.hlive = append(p.hlive, p.heap.Schedule(at, func() {
+		p.hlog = append(p.hlog, tag)
+		if tag%5 == 0 {
+			ct := childBase + tag
+			p.heap.ScheduleAfter(1.5, func() { p.hlog = append(p.hlog, ct) })
+		}
+	}))
+}
+
+// step consumes two bytes (opcode, argument) and applies one operation to
+// both engines.
+func (p *schedPair) step(op, arg byte) {
+	switch op % 5 {
+	case 0, 1: // schedule: fractional offsets with frequent ties, occasional far jumps
+		d := float64(arg%32) * 0.5
+		if arg%7 == 0 {
+			d += float64(arg) * 64
+		}
+		p.schedule(p.wheel.Now() + d)
+	case 2: // cancel the k-th issued handle (may already be fired or cancelled)
+		if n := len(p.wlive); n > 0 {
+			k := int(arg) % n
+			p.wlive[k].Cancel()
+			p.hlive[k].Cancel()
+		}
+	case 3: // single step
+		if sw, sh := p.wheel.Step(), p.heap.Step(); sw != sh {
+			p.t.Fatalf("Step: wheel=%v heap=%v", sw, sh)
+		}
+	case 4: // bounded advance
+		to := p.wheel.Now() + float64(arg)
+		p.wheel.RunUntil(to)
+		p.heap.RunUntil(to)
+	}
+	p.check()
+}
+
+func (p *schedPair) check() {
+	p.ops++
+	if p.wheel.Now() != p.heap.Now() {
+		p.t.Fatalf("Now: wheel=%g heap=%g", p.wheel.Now(), p.heap.Now())
+	}
+	if p.wheel.Pending() != p.heap.Pending() {
+		p.t.Fatalf("Pending: wheel=%d heap=%d", p.wheel.Pending(), p.heap.Pending())
+	}
+	if p.wheel.Dispatched() != p.heap.Dispatched() {
+		p.t.Fatalf("Dispatched: wheel=%d heap=%d", p.wheel.Dispatched(), p.heap.Dispatched())
+	}
+	if p.ops%16 == 0 {
+		if err := p.wheel.VerifyQueue(); err != nil {
+			p.t.Fatalf("VerifyQueue: %v", err)
+		}
+	}
+}
+
+func (p *schedPair) finish() {
+	p.wheel.Run()
+	p.heap.Run()
+	if err := p.wheel.VerifyQueue(); err != nil {
+		p.t.Fatalf("VerifyQueue after drain: %v", err)
+	}
+	if len(p.wlog) != len(p.hlog) {
+		p.t.Fatalf("dispatch counts diverge: wheel=%d heap=%d", len(p.wlog), len(p.hlog))
+	}
+	for i := range p.wlog {
+		if p.wlog[i] != p.hlog[i] {
+			p.t.Fatalf("dispatch order diverges at %d: wheel fired %d, heap fired %d",
+				i, p.wlog[i], p.hlog[i])
+		}
+	}
+}
+
+func runSchedBytes(t *testing.T, data []byte) {
+	p := &schedPair{t: t}
+	for i := 0; i+1 < len(data); i += 2 {
+		p.step(data[i], data[i+1])
+	}
+	p.finish()
+}
+
+// FuzzScheduler is the byte-driven differential harness: any operation
+// sequence the fuzzer invents must dispatch bit-identically from the
+// timing wheel and the reference heap.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 10, 3, 0, 4, 50})                         // ties, step, advance
+	f.Add([]byte{0, 0, 1, 7, 2, 0, 2, 1, 4, 255})                    // cancels incl. repeats
+	f.Add([]byte{0, 7, 0, 14, 0, 21, 0, 28, 3, 0, 3, 0, 3, 0, 3, 0}) // far jumps then drain
+	f.Add([]byte{1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5,
+		1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5, 1, 5}) // force a resize-up
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("cap the per-input work")
+		}
+		runSchedBytes(t, data)
+	})
+}
+
+// TestRandomOperationsScheduler replays a fixed pseudo-random operation
+// stream through the differential harness so the property is exercised on
+// every plain `go test` run, fuzzing or not. Large enough to cross
+// several resize-up and resize-down boundaries.
+func TestRandomOperationsScheduler(t *testing.T) {
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() byte {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return byte(state >> 56)
+	}
+	data := make([]byte, 2*6000)
+	for i := range data {
+		data[i] = next()
+	}
+	runSchedBytes(t, data)
+}

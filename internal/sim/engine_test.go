@@ -64,16 +64,72 @@ func TestEngineCancel(t *testing.T) {
 	var e Engine
 	fired := false
 	ev := e.Schedule(5, func() { fired = true })
-	ev.Cancel()
-	if !ev.Canceled() {
-		t.Error("Canceled not reported")
+	if !ev.Live() {
+		t.Error("scheduled event not Live")
+	}
+	if !ev.Cancel() {
+		t.Error("Cancel of a live event returned false")
+	}
+	if ev.Live() {
+		t.Error("cancelled event still Live")
 	}
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
 	// Cancel after run is a no-op.
-	ev.Cancel()
+	if ev.Cancel() {
+		t.Error("double Cancel returned true")
+	}
+}
+
+func TestEngineZeroEventHandle(t *testing.T) {
+	var ev Event
+	if ev.Live() {
+		t.Error("zero Event is Live")
+	}
+	if ev.Cancel() {
+		t.Error("zero Event Cancel returned true")
+	}
+	if ev.Time() != 0 {
+		t.Errorf("zero Event Time = %g", ev.Time())
+	}
+}
+
+func TestEngineHandleStaleAfterFire(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(1, func() {})
+	e.Run()
+	if ev.Live() {
+		t.Error("fired event still Live")
+	}
+	// The record behind ev has been recycled; a later Schedule may reuse
+	// it. The stale handle must not be able to cancel the new event.
+	ev2 := e.Schedule(2, func() {})
+	if ev.Cancel() {
+		t.Error("stale handle cancelled a recycled record")
+	}
+	if !ev2.Live() {
+		t.Error("stale Cancel killed an unrelated event")
+	}
+}
+
+func TestEngineSelfCancelDuringFire(t *testing.T) {
+	var e Engine
+	var ev Event
+	fired := 0
+	ev = e.Schedule(1, func() {
+		fired++
+		if ev.Cancel() {
+			t.Error("event cancelled itself from inside its own callback")
+		}
+		// Nested schedules may reuse the just-recycled record.
+		e.ScheduleAfter(1, func() { fired++ })
+	})
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
 }
 
 func TestEngineRunUntil(t *testing.T) {

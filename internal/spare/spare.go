@@ -209,14 +209,12 @@ func (c *Controller) PlanSpares(now float64, dc *cluster.Datacenter) Plan {
 // runtime estimates ("it can be easily derived, since each VM request is
 // submitted with an estimated running time", Section IV).
 func PredictDepartures(dc *cluster.Datacenter, now, period float64) int {
-	n := 0
-	for _, vm := range dc.RunningVMs() {
+	// CountVMs rather than materializing RunningVMs: the prediction runs
+	// every control period and only needs a count, not a sorted slice.
+	return dc.CountVMs(func(vm *cluster.VM) bool {
 		if vm.State != cluster.VMRunning && vm.State != cluster.VMMigrating {
-			continue
+			return false
 		}
-		if vm.RemainingEstimate(now) <= period {
-			n++
-		}
-	}
-	return n
+		return vm.RemainingEstimate(now) <= period
+	})
 }
