@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
+.PHONY: test check vet race audit resume-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
 
 test:
 	$(GO) test ./...
@@ -21,10 +21,32 @@ race:
 audit:
 	$(GO) run ./cmd/dvmpsim -audit=event -spare
 
-## fuzz-smoke: a short randomized-operations fuzz budget over the audit
-## harness (internal/audit.FuzzOperations). FUZZTIME=10s by default.
+## resume-audit: the crash-safety gate — run the seed workload under the
+## dynamic scheme three times: uninterrupted, checkpointed-and-killed at
+## roughly half the event stream, and resumed from that checkpoint. The
+## prefix and tail traces concatenated must be canonically byte-identical
+## to the uninterrupted trace (`tracestat -diff` exits non-zero on the
+## first differing event).
+RESUME_FLAGS ?= -scheme dynamic -nodes 16 -seed 1 -jobs 400 -spare -timed
+RESUME_STOP ?= 1500
+resume-audit:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/full.jsonl && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/prefix.jsonl \
+		-checkpoint $$tmp/ck.json -stop-after $(RESUME_STOP) && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/tail.jsonl \
+		-resume $$tmp/ck.json && \
+	cat $$tmp/prefix.jsonl $$tmp/tail.jsonl > $$tmp/combined.jsonl && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/full.jsonl $$tmp/combined.jsonl && \
+	rm -rf $$tmp
+
+## fuzz-smoke: short randomized fuzz budgets — the audit harness's
+## randomized-operations differential (internal/audit.FuzzOperations) and
+## the crash-injection resume differential (internal/sim.FuzzSnapshotResume).
+## FUZZTIME=10s by default (each).
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSnapshotResume -fuzztime $(FUZZTIME)
 
 ## bench-smoke: run every Kernel* and Engine* micro-benchmark exactly
 ## once. Not a measurement — a liveness gate: benchmarks bit-rot silently
@@ -36,9 +58,10 @@ bench-smoke:
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
 ## (covers the lock-free metrics hot path and the parallel experiment
-## harness), the full-trace audit run, a fuzz smoke test, and a
-## one-iteration pass over the kernel benchmarks.
-check: vet race audit fuzz-smoke bench-smoke
+## harness), the full-trace audit run, the checkpoint/resume crash-safety
+## gate, a fuzz smoke test, and a one-iteration pass over the kernel
+## benchmarks.
+check: vet race audit resume-audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with

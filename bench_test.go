@@ -11,12 +11,12 @@ package repro_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/stats"
 	"repro/internal/vector"
 	"repro/internal/workload"
 )
@@ -286,7 +286,7 @@ func placedBenchState(pmCount, nVMs int, scatter bool) (*core.Context, []*cluste
 	for _, pm := range dc.PMs() {
 		pm.State = cluster.PMOn
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := stats.NewRand(7)
 	mems := []float64{0.25, 0.5, 1, 2}
 	var vms []*cluster.VM
 	for id := 1; id <= nVMs; id++ {

@@ -29,7 +29,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -42,6 +41,7 @@ import (
 	"repro/internal/core/oracle"
 	"repro/internal/sim"
 	"repro/internal/sim/schedheap"
+	"repro/internal/stats"
 	"repro/internal/vector"
 )
 
@@ -224,7 +224,7 @@ func benchState(pmCount, nVMs int, seed int64) (*core.Context, []*cluster.VM) {
 	for _, pm := range dc.PMs() {
 		pm.State = cluster.PMOn
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := stats.NewRand(seed)
 	mems := []float64{0.25, 0.5, 1, 2}
 	var vms []*cluster.VM
 	for id := 1; id <= nVMs; id++ {

@@ -25,6 +25,14 @@
 // generated from -seed. With -swf, the file is parsed as Standard
 // Workload Format (so the original LPC log from the Parallel Workloads
 // Archive can be used directly), filtered, and normalized per Section V.A.
+//
+// Checkpoint and resume: -checkpoint names a checkpoint file,
+// -checkpoint-every N rewrites it (atomically) every N dispatched events,
+// -stop-after N checkpoints and exits at event N (a controlled crash),
+// and -resume restores a run from a checkpoint under the same flags. A
+// resumed run continues bit-exactly: its trace concatenated after the
+// interrupted run's is canonically byte-identical to an uninterrupted
+// run's (see DESIGN.md §11 and `make resume-audit`).
 package main
 
 import (
@@ -72,9 +80,30 @@ func run(args []string, out io.Writer) error {
 		verbose   = fs.Bool("v", false, "print the hourly series to stdout")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write an end-of-run heap profile to this file")
+		ckptPath  = fs.String("checkpoint", "", "checkpoint file to write (atomically, via rename)")
+		ckptEvery = fs.Int64("checkpoint-every", 0, "checkpoint every N dispatched events (requires -checkpoint)")
+		stopAfter = fs.Int64("stop-after", 0, "stop after N dispatched events, write a final checkpoint, and exit (requires -checkpoint)")
+		resumeArg = fs.String("resume", "", "resume the run from this checkpoint file instead of starting fresh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Uniform flag validation: every bad value dies here with one line,
+	// before any file is created or any work starts.
+	switch {
+	case *nodes <= 0:
+		return fmt.Errorf("-nodes must be positive (got %d)", *nodes)
+	case *jobCount < 0:
+		return fmt.Errorf("-jobs must be >= 0 (got %d)", *jobCount)
+	case *warm < 0:
+		return fmt.Errorf("-warm must be >= 0 (got %d)", *warm)
+	case *ckptEvery < 0:
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
+	case *stopAfter < 0:
+		return fmt.Errorf("-stop-after must be >= 0 (got %d)", *stopAfter)
+	case (*ckptEvery > 0 || *stopAfter > 0) && *ckptPath == "":
+		return fmt.Errorf("-checkpoint-every and -stop-after need -checkpoint to say where the checkpoint goes")
 	}
 
 	if *cpuProf != "" {
@@ -168,10 +197,11 @@ func run(args []string, out io.Writer) error {
 			cfg.Obs.Trace = obs.NewTracer(traceBuf)
 		}
 	}
-	res, err := sim.Run(cfg)
+	res, stopped, err := runSim(cfg, out, *resumeArg, *ckptPath, uint64(*ckptEvery), uint64(*stopAfter))
 	if traceFile != nil {
-		// Flush and close even on a failed run: a trace that ends at an
-		// audit violation is exactly what you want to inspect.
+		// Flush and close even on a failed or stopped run: a trace that
+		// ends at an audit violation or a checkpoint is exactly what you
+		// want to inspect (and resume from).
 		if ferr := traceBuf.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
@@ -184,6 +214,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if stopped {
+		// -stop-after hit: the state lives in the checkpoint, there is no
+		// Result to report.
+		return nil
 	}
 	if *tracePath != "" {
 		fmt.Fprintf(out, "trace: %d events written to %s\n", cfg.Obs.Trace.Events(), *tracePath)
@@ -238,4 +273,79 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "hourly series written to %s\n", *csvPath)
 	}
 	return nil
+}
+
+// runSim drives the simulation loop with the checkpoint hooks: resume
+// from a checkpoint file instead of a fresh start, periodic checkpoints
+// every N events, and a -stop-after cutoff that checkpoints and exits
+// mid-run (the "controlled crash" the resume audit restores from).
+// stopped reports the cutoff path, in which case res is nil.
+func runSim(cfg sim.Config, out io.Writer, resumePath, ckptPath string, every, stopAfter uint64) (res *sim.Result, stopped bool, err error) {
+	var m *sim.Sim
+	if resumePath != "" {
+		f, oerr := os.Open(resumePath)
+		if oerr != nil {
+			return nil, false, oerr
+		}
+		m, err = sim.Restore(cfg, f)
+		f.Close()
+		if err != nil {
+			return nil, false, err
+		}
+		fmt.Fprintf(out, "resumed: %s at event %d (t=%.1f)\n", resumePath, m.Dispatched(), m.Now())
+	} else {
+		if m, err = sim.New(cfg); err != nil {
+			return nil, false, err
+		}
+	}
+	lastCkpt := m.Dispatched()
+	for {
+		if stopAfter > 0 && m.Dispatched() >= stopAfter && m.Pending() > 0 {
+			if err := writeCheckpoint(m, ckptPath); err != nil {
+				return nil, false, err
+			}
+			fmt.Fprintf(out, "checkpoint: %s at event %d (t=%.1f), stopping\n", ckptPath, m.Dispatched(), m.Now())
+			return nil, true, nil
+		}
+		if every > 0 && m.Dispatched() >= lastCkpt+every {
+			if err := writeCheckpoint(m, ckptPath); err != nil {
+				return nil, false, err
+			}
+			lastCkpt = m.Dispatched()
+		}
+		ok, serr := m.Step()
+		if serr != nil {
+			return nil, false, serr
+		}
+		if !ok {
+			break
+		}
+	}
+	res, err = m.Finish()
+	return res, false, err
+}
+
+// writeCheckpoint saves the run state atomically: write to a temp file in
+// the same directory, then rename over the target, so a crash mid-write
+// never leaves a truncated checkpoint where a good one stood.
+func writeCheckpoint(m *sim.Sim, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if err := m.Save(w); err == nil {
+		err = w.Flush()
+	} else {
+		w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

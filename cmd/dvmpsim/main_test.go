@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunSyntheticSmallFleet(t *testing.T) {
@@ -66,20 +69,116 @@ func TestRunSWFTrace(t *testing.T) {
 	}
 }
 
+// TestRunErrors table-tests the CLI's rejection paths: every invalid
+// flag combination must fail with a non-nil (one-line) error before any
+// simulation work starts, and the message must name what was wrong.
 func TestRunErrors(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "not-a-checkpoint.json")
+	if err := os.WriteFile(garbage, []byte(`{"magic":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring the error must contain
+	}{
+		{"unknown scheme", []string{"-scheme", "nope"}, "scheme"},
+		{"missing swf", []string{"-swf", "/nonexistent/file.swf"}, "no such file"},
+		{"unwritable trace", []string{"-scheme", "first-fit", "-nodes", "4", "-jobs", "10",
+			"-trace", "/nonexistent/dir/run.jsonl"}, "no such file"},
+		{"bad flag", []string{"-badflag"}, "flag"},
+		{"bad audit mode", []string{"-audit", "nonsense"}, "audit"},
+		{"negative jobs", []string{"-jobs", "-5"}, "-jobs"},
+		{"zero nodes", []string{"-nodes", "0"}, "-nodes"},
+		{"negative nodes", []string{"-nodes", "-16"}, "-nodes"},
+		{"negative warm", []string{"-warm", "-1"}, "-warm"},
+		{"negative checkpoint-every", []string{"-checkpoint-every", "-10"}, "-checkpoint-every"},
+		{"negative stop-after", []string{"-stop-after", "-3"}, "-stop-after"},
+		{"checkpoint-every without path", []string{"-checkpoint-every", "100"}, "-checkpoint"},
+		{"stop-after without path", []string{"-stop-after", "100"}, "-checkpoint"},
+		{"resume missing file", []string{"-nodes", "4", "-jobs", "10", "-resume", "/nonexistent/ck.json"}, "no such file"},
+		{"resume non-checkpoint", []string{"-nodes", "4", "-jobs", "10", "-resume", garbage}, "magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(tc.args, &sb)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunCheckpointResume drives the flags end to end: stop a run at an
+// event boundary via -stop-after, resume it with -resume, and require
+// the concatenated canonical traces to equal an uninterrupted run's.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	prefix := filepath.Join(dir, "prefix.jsonl")
+	tail := filepath.Join(dir, "tail.jsonl")
+	ckpt := filepath.Join(dir, "ck.json")
+	base := []string{"-scheme", "dynamic", "-nodes", "8", "-seed", "5", "-jobs", "80", "-spare", "-timed"}
+
 	var sb strings.Builder
-	if err := run([]string{"-scheme", "nope"}, &sb); err == nil {
-		t.Error("unknown scheme accepted")
+	if err := run(append(base, "-trace", full), &sb); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-swf", "/nonexistent/file.swf"}, &sb); err == nil {
-		t.Error("missing SWF workload accepted")
+	sb.Reset()
+	if err := run(append(base, "-trace", prefix, "-checkpoint", ckpt, "-stop-after", "200"), &sb); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-scheme", "first-fit", "-nodes", "4", "-jobs", "10",
-		"-trace", "/nonexistent/dir/run.jsonl"}, &sb); err == nil {
-		t.Error("unwritable trace path accepted")
+	if !strings.Contains(sb.String(), "stopping") {
+		t.Fatalf("run did not stop at the cutoff:\n%s", sb.String())
 	}
-	if err := run([]string{"-badflag"}, &sb); err == nil {
-		t.Error("bad flag accepted")
+	sb.Reset()
+	if err := run(append(base, "-trace", tail, "-resume", ckpt), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "resumed: "+ckpt) {
+		t.Fatalf("output missing resume line:\n%s", sb.String())
+	}
+
+	read := func(p string) []byte {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c bytes.Buffer
+		if err := obs.Canonicalize(bytes.NewReader(data), &c); err != nil {
+			t.Fatal(err)
+		}
+		return c.Bytes()
+	}
+	combined := append(read(prefix), read(tail)...)
+	if want := read(full); !bytes.Equal(combined, want) {
+		t.Fatal("resumed trace differs from the uninterrupted run")
+	}
+}
+
+// TestRunCheckpointEvery exercises periodic checkpointing: the file must
+// exist after the run and be restorable.
+func TestRunCheckpointEvery(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.json")
+	base := []string{"-scheme", "first-fit", "-nodes", "8", "-seed", "2", "-jobs", "60"}
+	var sb strings.Builder
+	if err := run(append(base, "-checkpoint", ckpt, "-checkpoint-every", "50"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("periodic checkpoint not written: %v", err)
+	}
+	sb.Reset()
+	if err := run(append(base, "-resume", ckpt), &sb); err != nil {
+		t.Fatalf("resume from periodic checkpoint: %v", err)
+	}
+	if !strings.Contains(sb.String(), "completed") && !strings.Contains(sb.String(), "scheme") {
+		t.Fatalf("resumed run produced no summary:\n%s", sb.String())
 	}
 }
 

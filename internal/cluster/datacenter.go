@@ -117,6 +117,21 @@ func (d *Datacenter) Efficiency(p *PM) float64 {
 	return d.minPerVMPower / pv
 }
 
+// CloneTopology returns a new datacenter with the same PM IDs, classes,
+// and derived constants but entirely fresh machine state: every clone PM
+// starts powered off, fully reliable, and empty. PMClass values are shared
+// (they are immutable by convention). The snapshot auditor restores
+// checkpoints into topology clones so a round-trip check never aliases the
+// live fleet.
+func (d *Datacenter) CloneTopology() *Datacenter {
+	out := &Datacenter{rmin: d.rmin.Clone(), minPerVMPower: d.minPerVMPower}
+	out.pms = make([]*PM, len(d.pms))
+	for i, p := range d.pms {
+		out.pms[i] = NewPM(p.ID, p.Class)
+	}
+	return out
+}
+
 // RMin returns the minimal VM requirement vector (a copy).
 func (d *Datacenter) RMin() vector.V { return d.rmin.Clone() }
 

@@ -2,10 +2,10 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/stats"
 	"repro/internal/vector"
 )
 
@@ -21,7 +21,7 @@ func tableIIState(tb testing.TB, pmCount, nVMs int, seed int64) (*Context, []*cl
 	for _, pm := range dc.PMs() {
 		pm.State = cluster.PMOn
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := stats.NewRand(seed)
 	const now = 7200.0
 	var vms []*cluster.VM
 	mems := []float64{0.25, 0.5, 1, 2}
@@ -219,7 +219,7 @@ func TestMatrixTrackersMatchRebuildAfterRandomApplies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rng := rand.New(rand.NewSource(42))
+			rng := stats.NewRand(42)
 			applied := 0
 			for step := 0; step < 40; step++ {
 				// Random feasible move: any positive cell off the

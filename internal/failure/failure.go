@@ -59,7 +59,7 @@ func (c Config) Validate() error {
 // Injector samples failure times and applies reliability decay.
 type Injector struct {
 	cfg Config
-	rng stats.Rand
+	rng *stats.Stream
 }
 
 // NewInjector builds an injector; it panics on invalid configuration.
@@ -72,6 +72,20 @@ func NewInjector(cfg Config) *Injector {
 
 // Enabled reports whether this injector produces failures.
 func (i *Injector) Enabled() bool { return i.cfg.Enabled() }
+
+// RNGState captures the failure clock's stream state for a checkpoint.
+func (i *Injector) RNGState() stats.StreamState { return i.rng.State() }
+
+// RestoreRNG reloads a checkpointed stream state so post-resume failure
+// draws continue the original sequence exactly.
+func (i *Injector) RestoreRNG(st stats.StreamState) error {
+	rng, err := stats.RestoreStream(st)
+	if err != nil {
+		return err
+	}
+	i.rng = rng
+	return nil
+}
 
 // RepairTime returns the configured repair duration.
 func (i *Injector) RepairTime() float64 { return i.cfg.RepairTime }

@@ -80,6 +80,41 @@ func (e *Estimator) Advance(now float64) {
 	}
 }
 
+// State is the serializable observation window of the estimator: the raw
+// arrival times plus the observation horizon. The folded-phase cache is
+// deliberately excluded — it is a pure function of (arrivals, latest) and
+// rebuilds lazily after a restore, bit-identically (same inputs, same
+// sort, same floats).
+type State struct {
+	Arrivals []float64 `json:"arrivals,omitempty"`
+	Latest   float64   `json:"latest"`
+}
+
+// State captures the estimator's observations for a checkpoint.
+func (e *Estimator) State() State {
+	return State{Arrivals: append([]float64(nil), e.arrivals...), Latest: e.latest}
+}
+
+// Restore rebuilds an estimator from a checkpointed state.
+func Restore(period float64, st State) (*Estimator, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("nhpp: period must be positive, got %g", period)
+	}
+	if st.Latest < 0 {
+		return nil, fmt.Errorf("nhpp: negative observation horizon %g", st.Latest)
+	}
+	for i, t := range st.Arrivals {
+		if t < 0 || t > st.Latest {
+			return nil, fmt.Errorf("nhpp: arrival %d at %g outside [0, %g]", i, t, st.Latest)
+		}
+	}
+	return &Estimator{
+		period:   period,
+		arrivals: append([]float64(nil), st.Arrivals...),
+		latest:   st.Latest,
+	}, nil
+}
+
 // completeCycles returns k, the number of fully observed cycles.
 func (e *Estimator) completeCycles() int {
 	return int(e.latest / e.period)

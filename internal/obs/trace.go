@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"io"
 	"strconv"
 	"sync"
@@ -119,6 +120,25 @@ func (tr *Tracer) Emit(t float64, event string, fields ...KV) {
 	if tr.err == nil {
 		_, tr.err = tr.w.Write(b)
 	}
+}
+
+// ResumeSeq fast-forwards the logical clock to seq, so a tracer opened
+// after a checkpoint restore numbers its first event exactly where the
+// interrupted run's tracer stopped. Concatenating the interrupted trace
+// with the resumed one then reproduces the uninterrupted trace
+// byte-for-byte (canonically). Rewinding an already-advanced clock is
+// refused — it would mint duplicate sequence numbers.
+func (tr *Tracer) ResumeSeq(seq uint64) error {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.seq > seq {
+		return fmt.Errorf("obs: cannot rewind trace clock from %d to %d", tr.seq, seq)
+	}
+	tr.seq = seq
+	return nil
 }
 
 // Events returns the number of events emitted so far.

@@ -117,12 +117,26 @@ func (WorstFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, ni
 // Random places each request on a uniformly random feasible PM. Seeded, so
 // runs remain reproducible.
 type Random struct {
-	rng stats.Rand
+	rng *stats.Stream
 }
 
 // NewRandom returns a Random placer with the given seed.
 func NewRandom(seed int64) *Random {
 	return &Random{rng: stats.NewRand(seed)}
+}
+
+// RNGState captures the placer's stream state for a checkpoint.
+func (r *Random) RNGState() stats.StreamState { return r.rng.State() }
+
+// RestoreRNG reloads a checkpointed stream state so post-resume placements
+// continue the original draw sequence exactly.
+func (r *Random) RestoreRNG(st stats.StreamState) error {
+	rng, err := stats.RestoreStream(st)
+	if err != nil {
+		return err
+	}
+	r.rng = rng
+	return nil
 }
 
 // Name implements Placer.

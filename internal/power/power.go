@@ -114,6 +114,42 @@ func (m *Meter) ensureBin(b int) {
 	}
 }
 
+// MeterState is the serializable accumulator state of a Meter. The
+// datacenter reference and bin width are reconstruction parameters, not
+// state; they come from the run configuration on restore.
+type MeterState struct {
+	LastTime float64   `json:"last_time"`
+	Bins     []float64 `json:"bins,omitempty"`
+	PerPM    []float64 `json:"per_pm"`
+	Total    float64   `json:"total"`
+}
+
+// State captures the meter's accumulators for a checkpoint.
+func (m *Meter) State() MeterState {
+	return MeterState{
+		LastTime: m.lastTime,
+		Bins:     append([]float64(nil), m.bins...),
+		PerPM:    append([]float64(nil), m.perPM...),
+		Total:    m.total,
+	}
+}
+
+// RestoreState reloads checkpointed accumulators into a freshly built
+// meter over the same fleet.
+func (m *Meter) RestoreState(st MeterState) error {
+	if len(st.PerPM) != len(m.perPM) {
+		return fmt.Errorf("power: snapshot has %d per-PM accumulators, fleet has %d", len(st.PerPM), len(m.perPM))
+	}
+	if st.LastTime < 0 {
+		return fmt.Errorf("power: negative meter time %g", st.LastTime)
+	}
+	m.lastTime = st.LastTime
+	m.bins = append(m.bins[:0], st.Bins...)
+	m.perPM = append(m.perPM[:0], st.PerPM...)
+	m.total = st.Total
+	return nil
+}
+
 // TotalEnergy returns total energy consumed so far, in joules.
 func (m *Meter) TotalEnergy() float64 { return m.total }
 

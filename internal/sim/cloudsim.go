@@ -176,16 +176,81 @@ type Result struct {
 	AuditChecks int
 }
 
+// Event kinds for calendar-queue snapshot tags (Tag.Kind). Every event
+// the simulation schedules carries one of these plus the entity ID it
+// concerns, which is all the restore path needs to rebuild the event's
+// callback over the reconstructed state. Kind 0 stays reserved for
+// untagged events (which a checkpoint rejects).
+const (
+	evArrival      uint8 = iota + 1 // Arg: VM ID
+	evControlTick                   // Arg: unused
+	evCreationDone                  // Arg: VM ID
+	evDeparture                     // Arg: VM ID
+	evBootDone                      // Arg: PM ID
+	evShutdownDone                  // Arg: PM ID
+	evFailure                       // Arg: PM ID
+	evRepaired                      // Arg: PM ID
+	evMigCutover                    // Arg: VM ID
+)
+
 // Run executes the simulation to completion (all requests finished) and
 // returns the collected metrics.
 func Run(cfg Config) (*Result, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return m.Finish()
+}
+
+// Sim is a stepwise simulation run. New builds the initial state and
+// schedules the workload; Step dispatches one event and runs the
+// configured checks; Finish validates the drained state and assembles the
+// Result. Run composes the three. The seams exist for the checkpoint
+// layer: Save may be called between any two Steps, and Restore re-enters
+// the same loop mid-run with bit-identical future behavior.
+type Sim struct {
+	s *simulator
+}
+
+// New builds a run from cfg: warm-start power state, the control-tick
+// chain, and the full workload schedule.
+func New(cfg Config) (*Sim, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
 	s.pctx = core.NewContext(s.dc)
-	return s.run()
+	s.start()
+	return &Sim{s: s}, nil
 }
+
+// Now returns the current simulation time in seconds.
+func (m *Sim) Now() float64 { return m.s.eng.Now() }
+
+// Dispatched returns the number of events fired so far.
+func (m *Sim) Dispatched() uint64 { return m.s.eng.Dispatched() }
+
+// Pending returns the number of events still queued.
+func (m *Sim) Pending() int { return m.s.eng.Pending() }
+
+// Step dispatches the next event and runs the configured invariant
+// checks. It returns false when the event queue is empty (the run is
+// ready for Finish), and a non-nil error on the first check violation.
+func (m *Sim) Step() (bool, error) { return m.s.stepOnce() }
+
+// Finish validates the drained state and assembles the Result. Call it
+// exactly once, after Step has returned false.
+func (m *Sim) Finish() (*Result, error) { return m.s.finish() }
 
 // simulator holds one run's mutable state.
 type simulator struct {
@@ -252,6 +317,12 @@ type simulator struct {
 	queuedCount int
 	boots       int
 	horizon     float64
+
+	// traceSeq0 is the trace logical clock carried in from a restored
+	// checkpoint. It exists so a restored run WITHOUT an observer (the
+	// snapshot auditor's round-trip clone) still re-serializes the same
+	// TraceSeq it was restored with, keeping save→load→save byte-exact.
+	traceSeq0 uint64
 }
 
 func (s *simulator) ctx() *core.Context {
@@ -299,7 +370,10 @@ func (s *simulator) logf(format string, args ...any) {
 	fmt.Fprintln(s.cfg.EventLog)
 }
 
-func (s *simulator) run() (*Result, error) {
+// initRun builds the run-lifetime components shared by a fresh start and
+// a checkpoint restore: the meter, the bookkeeping maps, the empty
+// Result, the spare controller, and the failure injector.
+func (s *simulator) initRun() {
 	s.meter = power.NewMeter(s.dc, s.cfg.MeterBin)
 	s.reqOf = make(map[cluster.VMID]workload.Request, len(s.cfg.Requests))
 	s.bootReadyAt = make(map[cluster.PMID]float64)
@@ -317,6 +391,16 @@ func (s *simulator) run() (*Result, error) {
 	if s.cfg.Failures.Enabled() {
 		s.inj = failure.NewInjector(s.cfg.Failures)
 	}
+	for i, req := range s.cfg.Requests {
+		s.reqOf[cluster.VMID(i+1)] = req
+		if end := req.Submit + req.RunTime; end > s.horizon {
+			s.horizon = end
+		}
+	}
+}
+
+func (s *simulator) start() {
+	s.initRun()
 	s.setupObs()
 	s.setupAudit()
 	if s.tracing {
@@ -351,51 +435,51 @@ func (s *simulator) run() (*Result, error) {
 	// Schedule the workload.
 	for i, req := range s.cfg.Requests {
 		id := cluster.VMID(i + 1)
-		s.reqOf[id] = req
 		req := req
-		s.eng.Schedule(req.Submit, func() { s.onArrival(id, req) })
-		if end := req.Submit + req.RunTime; end > s.horizon {
-			s.horizon = end
-		}
+		s.eng.ScheduleTag(req.Submit, Tag{Kind: evArrival, Arg: int64(id)},
+			func() { s.onArrival(id, req) })
+	}
+}
+
+// stepOnce is one main-loop iteration: dispatch the next event, then run
+// the per-event checks the configuration asks for.
+func (s *simulator) stepOnce() (bool, error) {
+	stopDispatch := s.phDispatch.Time()
+	stepped := s.eng.Step()
+	stopDispatch()
+	if !stepped {
+		return false, nil
 	}
 	var simErr error
-	for {
-		stopDispatch := s.phDispatch.Time()
-		stepped := s.eng.Step()
-		stopDispatch()
-		if !stepped {
-			break
+	if s.cfg.CheckInvariants {
+		if err := s.dc.CheckInvariants(); err != nil {
+			simErr = fmt.Errorf("sim: invariant violation at t=%g: %w", s.eng.Now(), err)
 		}
-		if s.cfg.CheckInvariants {
-			if err := s.dc.CheckInvariants(); err != nil {
-				simErr = fmt.Errorf("sim: invariant violation at t=%g: %w", s.eng.Now(), err)
-				break
-			}
+	}
+	if simErr == nil && s.aud != nil {
+		var auditErr error
+		if s.tickRan {
+			// A control tick just fired: run the full set,
+			// including the per-period oracle differential.
+			s.tickRan = false
+			auditErr = s.aud.RunPeriod(s.eng.Now())
+		} else if s.cfg.Audit == audit.Event {
+			auditErr = s.aud.RunEvent(s.eng.Now())
 		}
-		if s.aud != nil {
-			var auditErr error
-			if s.tickRan {
-				// A control tick just fired: run the full set,
-				// including the per-period oracle differential.
-				s.tickRan = false
-				auditErr = s.aud.RunPeriod(s.eng.Now())
-			} else if s.cfg.Audit == audit.Event {
-				auditErr = s.aud.RunEvent(s.eng.Now())
-			}
-			if auditErr != nil {
-				simErr = fmt.Errorf("sim: %w", auditErr)
-			}
-		}
-		if simErr != nil {
-			if s.tracing {
-				s.emit("audit_violation", obs.S("error", simErr.Error()))
-			}
-			break
+		if auditErr != nil {
+			simErr = fmt.Errorf("sim: %w", auditErr)
 		}
 	}
 	if simErr != nil {
-		return nil, simErr
+		if s.tracing {
+			s.emit("audit_violation", obs.S("error", simErr.Error()))
+		}
+		return true, simErr
 	}
+	return true, nil
+}
+
+func (s *simulator) finish() (*Result, error) {
 	if len(s.queue) > 0 {
 		return nil, fmt.Errorf("sim: %d requests still queued at drain (no capacity ever became available)", len(s.queue))
 	}
@@ -453,10 +537,14 @@ func (s *simulator) setupAudit() {
 			d.Opts.SelfAudit = true
 		}
 	}
+	// The snapshot round-trip (save → restore into a topology clone →
+	// re-save → byte-compare + invariants) is period-granularity only:
+	// serializing the whole run per event would dominate the run.
+	s.aud.Register(s.snapshotCheck())
 }
 
 func (s *simulator) scheduleControlTick(at float64) {
-	s.eng.Schedule(at, s.onControlTick)
+	s.eng.ScheduleTag(at, Tag{Kind: evControlTick}, s.onControlTick)
 }
 
 // --- event handlers ---
@@ -506,7 +594,8 @@ func (s *simulator) tryPlace(vm *cluster.VM) bool {
 		s.emit("place", obs.I("vm", int64(vm.ID)), obs.I("pm", int64(pm.ID)), obs.F("ready", start))
 	}
 	done := start + pm.Class.CreationTime
-	s.lifeEvent[vm.ID] = s.eng.Schedule(done, func() { s.onCreationDone(vm) })
+	s.lifeEvent[vm.ID] = s.eng.ScheduleTag(done, Tag{Kind: evCreationDone, Arg: int64(vm.ID)},
+		func() { s.onCreationDone(vm) })
 	return true
 }
 
@@ -608,7 +697,7 @@ func (s *simulator) bootPM(pm *cluster.PM) {
 		s.emit("boot", obs.I("pm", int64(pm.ID)), obs.S("class", pm.Class.Name), obs.F("ready", ready))
 	}
 	s.logf("boot     PM%-5d (%s, ready at %.1f)", pm.ID, pm.Class.Name, ready)
-	s.eng.Schedule(ready, func() { s.onBootDone(pm) })
+	s.eng.ScheduleTag(ready, Tag{Kind: evBootDone, Arg: int64(pm.ID)}, func() { s.onBootDone(pm) })
 }
 
 func (s *simulator) onBootDone(pm *cluster.PM) {
@@ -634,7 +723,8 @@ func (s *simulator) shutdownPM(pm *cluster.PM) {
 	}
 	pm.State = cluster.PMShuttingDown
 	s.disarmFailure(pm)
-	s.eng.ScheduleAfter(pm.Class.OnOffOverhead, func() { s.onShutdownDone(pm) })
+	s.eng.ScheduleTag(s.eng.Now()+pm.Class.OnOffOverhead, Tag{Kind: evShutdownDone, Arg: int64(pm.ID)},
+		func() { s.onShutdownDone(pm) })
 }
 
 func (s *simulator) onShutdownDone(pm *cluster.PM) {
@@ -652,7 +742,8 @@ func (s *simulator) onCreationDone(vm *cluster.VM) {
 	s.meter.Advance(now)
 	vm.State = cluster.VMRunning
 	vm.StartTime = now
-	s.lifeEvent[vm.ID] = s.eng.Schedule(now+vm.ActualRuntime, func() { s.onDeparture(vm) })
+	s.lifeEvent[vm.ID] = s.eng.ScheduleTag(now+vm.ActualRuntime, Tag{Kind: evDeparture, Arg: int64(vm.ID)},
+		func() { s.onDeparture(vm) })
 }
 
 func (s *simulator) onDeparture(vm *cluster.VM) {
@@ -747,13 +838,22 @@ func (s *simulator) onFailure(pm *cluster.PM) {
 	// Unwind any migration holds touching this PM: holds owned by its
 	// VMs (migrating in when the target failed), and holds whose source
 	// is this PM (the in-flight VM lives elsewhere but its reservation
-	// dies with the machine).
+	// dies with the machine). The unwind runs in VM-ID order — ranging
+	// the map directly would release reservations in nondeterministic
+	// order, and when several holds share a source the intermediate
+	// Used values (hence the scheme's probabilities) would depend on it.
+	var unwind []cluster.VMID
 	for id, hold := range s.holds {
 		if hold.source == pm || pm.HasVM(id) {
-			s.releaseHold(id, hold)
-			if hold.vm.State == cluster.VMMigrating {
-				hold.vm.State = cluster.VMRunning
-			}
+			unwind = append(unwind, id)
+		}
+	}
+	sort.Slice(unwind, func(i, j int) bool { return unwind[i] < unwind[j] })
+	for _, id := range unwind {
+		hold := s.holds[id]
+		s.releaseHold(id, hold)
+		if hold.vm.State == cluster.VMMigrating {
+			hold.vm.State = cluster.VMRunning
 		}
 	}
 	victims := pm.VMs()
@@ -776,7 +876,8 @@ func (s *simulator) onFailure(pm *cluster.PM) {
 		}
 	}
 	if s.inj.RepairTime() > 0 {
-		s.eng.ScheduleAfter(s.inj.RepairTime(), func() { s.onRepaired(pm) })
+		s.eng.ScheduleTag(now+s.inj.RepairTime(), Tag{Kind: evRepaired, Arg: int64(pm.ID)},
+			func() { s.onRepaired(pm) })
 	} else {
 		pm.State = cluster.PMOff
 	}
@@ -797,7 +898,8 @@ func (s *simulator) armFailure(pm *cluster.PM) {
 		return
 	}
 	ttf := s.inj.SampleTimeToFailure()
-	s.failEvent[pm.ID] = s.eng.ScheduleAfter(ttf, func() { s.onFailure(pm) })
+	s.failEvent[pm.ID] = s.eng.ScheduleTag(s.eng.Now()+ttf, Tag{Kind: evFailure, Arg: int64(pm.ID)},
+		func() { s.onFailure(pm) })
 }
 
 func (s *simulator) disarmFailure(pm *cluster.PM) {
@@ -880,9 +982,10 @@ func (s *simulator) beginTimedMigration(mv core.Move) {
 	}
 	vm.State = cluster.VMMigrating
 	hold := &migrationHold{vm: vm, source: source, demand: vm.Demand.Clone()}
-	hold.done = s.eng.ScheduleAfter(s.dc.PM(mv.To).Class.MigrationTime, func() {
-		s.finishTimedMigration(vm, hold)
-	})
+	hold.done = s.eng.ScheduleTag(s.eng.Now()+s.dc.PM(mv.To).Class.MigrationTime,
+		Tag{Kind: evMigCutover, Arg: int64(vm.ID)}, func() {
+			s.finishTimedMigration(vm, hold)
+		})
 	s.holds[vm.ID] = hold
 }
 

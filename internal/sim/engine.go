@@ -58,6 +58,7 @@ type record struct {
 	seq  uint64 // engine-unique; 0 marks a free or fired record
 	g    int64  // global bucket index: floor(at / width) under the current width
 	fire func()
+	tag  Tag // semantic kind for snapshot serialization; zero Kind = untagged
 
 	prev, next *record
 	owner      *Engine
@@ -147,6 +148,21 @@ func (e *Engine) Pending() int { return e.count }
 // is a programming error and panics: a DES that silently reorders time
 // produces subtly wrong results.
 func (e *Engine) Schedule(at float64, fire func()) Event {
+	return e.schedule(at, Tag{}, fire)
+}
+
+// ScheduleTag is Schedule with a semantic tag attached. Tagged events can
+// be serialized by SnapshotEvents and rebuilt on restore; untagged events
+// (plain Schedule) cannot, and make SnapshotEvents fail. The simulation
+// layer tags every event it queues.
+func (e *Engine) ScheduleTag(at float64, tag Tag, fire func()) Event {
+	if tag.Kind == 0 {
+		panic("sim: ScheduleTag with zero Kind; use Schedule for untagged events")
+	}
+	return e.schedule(at, tag, fire)
+}
+
+func (e *Engine) schedule(at float64, tag Tag, fire func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, e.now))
 	}
@@ -165,6 +181,7 @@ func (e *Engine) Schedule(at float64, fire func()) Event {
 	rec.seq = e.seq
 	rec.g = e.gFor(at)
 	rec.fire = fire
+	rec.tag = tag
 	e.insert(rec)
 	e.count++
 	if e.count > 2*len(e.buckets) && len(e.buckets) < maxBuckets {
@@ -263,6 +280,7 @@ func (e *Engine) alloc() *record {
 func (e *Engine) recycle(rec *record) {
 	rec.seq = 0
 	rec.fire = nil
+	rec.tag = Tag{}
 	rec.prev = nil
 	rec.next = e.free
 	e.free = rec

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tag is the serializable identity of a queued event: a small enum of
+// event kinds plus one integer argument (a VM or PM identifier, or zero).
+// The calendar queue itself holds closures, which cannot be written to a
+// checkpoint; the tag is the closure's recipe. On restore, the simulation
+// layer maps each (Kind, Arg) back to a fresh closure over the rebuilt
+// state, and because dispatch order is total in (at, seq) — independent
+// of bucket geometry — re-inserting the tagged events with their original
+// sequence numbers reproduces the exact dispatch order of the original
+// run.
+//
+// Kind 0 is reserved for "untagged" (plain Schedule); the event kinds
+// themselves are defined by the simulation layer (cloudsim.go), not the
+// engine.
+type Tag struct {
+	Kind uint8 `json:"k"`
+	Arg  int64 `json:"a,omitempty"`
+}
+
+// QueuedEvent is one serialized calendar-queue entry: the full ordering
+// key plus the tag that lets the simulation layer rebuild its callback.
+type QueuedEvent struct {
+	At  float64 `json:"at"`
+	Seq uint64  `json:"seq"`
+	Tag Tag     `json:"tag"`
+}
+
+// EngineState is the serializable core of the engine. Bucket geometry
+// (count, width, cursor, dispatch history) is deliberately absent:
+// dispatch order depends only on (at, seq), so a restored engine may
+// rebuild any geometry it likes without perturbing the simulation.
+type EngineState struct {
+	Now        float64       `json:"now"`
+	Seq        uint64        `json:"seq"`
+	Dispatched uint64        `json:"dispatched"`
+	Events     []QueuedEvent `json:"events"`
+}
+
+// SnapshotEvents returns every live queued event sorted by (At, Seq). It
+// fails if any live event is untagged — an untagged closure cannot be
+// rebuilt, so a checkpoint containing one would not be restorable.
+func (e *Engine) SnapshotEvents() ([]QueuedEvent, error) {
+	evs := make([]QueuedEvent, 0, e.count)
+	for i := range e.buckets {
+		for rec := e.buckets[i].head; rec != nil; rec = rec.next {
+			if rec.tag.Kind == 0 {
+				return nil, fmt.Errorf("sim: untagged event at t=%g seq=%d cannot be snapshotted", rec.at, rec.seq)
+			}
+			evs = append(evs, QueuedEvent{At: rec.at, Seq: rec.seq, Tag: rec.tag})
+		}
+	}
+	if len(evs) != e.count {
+		return nil, fmt.Errorf("sim: queue walk found %d events, count says %d", len(evs), e.count)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	return evs, nil
+}
+
+// SnapshotState captures the engine core for a checkpoint.
+func (e *Engine) SnapshotState() (EngineState, error) {
+	evs, err := e.SnapshotEvents()
+	if err != nil {
+		return EngineState{}, err
+	}
+	return EngineState{Now: e.now, Seq: e.seq, Dispatched: e.dispatched, Events: evs}, nil
+}
+
+// RestoreState loads a snapshot into a fresh engine. rebuild is called
+// once per event, in (At, Seq) order, to produce the callback for that
+// event's tag; the returned Event handles are aligned index-for-index
+// with st.Events so the caller can re-arm its cancellation maps.
+//
+// Each event keeps its original sequence number, and the engine's seq
+// counter resumes from the snapshot, so the (at, seq) total order — and
+// therefore every future dispatch decision — is bit-identical to the
+// run that wrote the snapshot.
+func (e *Engine) RestoreState(st EngineState, rebuild func(QueuedEvent) func()) ([]Event, error) {
+	if e.seq != 0 || e.count != 0 || e.dispatched != 0 {
+		return nil, fmt.Errorf("sim: RestoreState on a used engine (seq=%d, pending=%d)", e.seq, e.count)
+	}
+	seen := make(map[uint64]struct{}, len(st.Events))
+	for i, ev := range st.Events {
+		if ev.Seq == 0 || ev.Seq > st.Seq {
+			return nil, fmt.Errorf("sim: event %d has seq %d outside (0, %d]", i, ev.Seq, st.Seq)
+		}
+		if _, dup := seen[ev.Seq]; dup {
+			return nil, fmt.Errorf("sim: duplicate event seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = struct{}{}
+		if !(ev.At >= st.Now) { // also rejects NaN
+			return nil, fmt.Errorf("sim: event %d at t=%g is before snapshot clock %g", i, ev.At, st.Now)
+		}
+		if ev.Tag.Kind == 0 {
+			return nil, fmt.Errorf("sim: event %d has zero tag kind", i)
+		}
+	}
+	e.now = st.Now
+	e.seq = st.Seq
+	e.dispatched = st.Dispatched
+	if e.buckets == nil {
+		e.initQueue()
+	}
+	handles := make([]Event, len(st.Events))
+	for i, ev := range st.Events {
+		fire := rebuild(ev)
+		if fire == nil {
+			return nil, fmt.Errorf("sim: rebuild returned nil callback for event %d (kind %d, arg %d)", i, ev.Tag.Kind, ev.Tag.Arg)
+		}
+		rec := e.alloc()
+		rec.at = ev.At
+		rec.seq = ev.Seq
+		rec.g = e.gFor(ev.At)
+		rec.fire = fire
+		rec.tag = ev.Tag
+		e.insert(rec)
+		e.count++
+		if e.count > 2*len(e.buckets) && len(e.buckets) < maxBuckets {
+			e.resize(2 * len(e.buckets))
+		}
+		handles[i] = Event{rec: rec, seq: rec.seq, at: ev.At}
+	}
+	return handles, nil
+}

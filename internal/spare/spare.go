@@ -127,6 +127,36 @@ func (c *Controller) Config() Config { return c.cfg }
 // estimator.
 func (c *Controller) RecordArrival(t float64) { c.est.Observe(t) }
 
+// State is the controller's serializable learning state: the NHPP
+// observation window plus the completed-runtime accumulator behind the
+// churn-aware departure correction.
+type State struct {
+	NHPP     nhpp.State `json:"nhpp"`
+	RunSum   float64    `json:"run_sum"`
+	RunCount int        `json:"run_count"`
+}
+
+// State captures the controller's learning state for a checkpoint.
+func (c *Controller) State() State {
+	return State{NHPP: c.est.State(), RunSum: c.runSum, RunCount: c.runCount}
+}
+
+// RestoreState reloads a checkpointed learning state into the controller,
+// replacing whatever it had accumulated.
+func (c *Controller) RestoreState(st State) error {
+	if st.RunCount < 0 || st.RunSum < 0 {
+		return fmt.Errorf("spare: negative runtime accumulator (%g over %d)", st.RunSum, st.RunCount)
+	}
+	est, err := nhpp.Restore(c.cfg.Cycle, st.NHPP)
+	if err != nil {
+		return err
+	}
+	c.est = est
+	c.runSum = st.RunSum
+	c.runCount = st.RunCount
+	return nil
+}
+
 // RecordCompletion feeds one finished VM's actual runtime into the
 // churn-aware departure model. Harmless to call when ChurnAware is off.
 func (c *Controller) RecordCompletion(runtime float64) {

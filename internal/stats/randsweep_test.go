@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoStdlibRandAnywhere enforces the checkpoint layer's RNG contract
+// repo-wide: every random draw must flow through stats.Stream (explicitly
+// seeded, state fully serializable), because a math/rand source hides its
+// state and makes bit-exact resume impossible. The test parses the import
+// list of every .go file in the module and fails on math/rand or
+// math/rand/v2 — including in tests and tools, so a straggler can't sneak
+// back in through a benchmark harness.
+func TestNoStdlibRandAnywhere(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			t.Errorf("parse %s: %v", path, perr)
+			return nil
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s imports %s; use repro/internal/stats.Stream (seeded, snapshot-serializable)", rel, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoTimeSeededRand greps for the idioms that would reintroduce
+// nondeterminism even without math/rand: seeding anything from the wall
+// clock. time.Now is legitimate for wall-clock observability (obs trace
+// timestamps, phase timings), so only seed-shaped uses are flagged.
+func TestNoTimeSeededRand(t *testing.T) {
+	root := moduleRoot(t)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "randsweep_test.go") {
+			return nil
+		}
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for _, bad := range []string{
+			"NewRand(time.Now", "NewStream(time.Now", "rand.Seed(",
+		} {
+			if strings.Contains(string(src), bad) {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s contains %q: random streams must be explicitly seeded", rel, bad)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the package directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}

@@ -11,12 +11,11 @@ package stats
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 )
 
-// Rand is the subset of *rand.Rand the variate generators need. Using an
-// interface keeps the generators testable with scripted number streams.
+// Rand is the subset of a random source the variate generators need. Using
+// an interface keeps the generators testable with scripted number streams.
 type Rand interface {
 	Float64() float64
 	NormFloat64() float64
@@ -24,9 +23,12 @@ type Rand interface {
 	Intn(n int) int
 }
 
-// NewRand returns a deterministic source seeded with seed.
-func NewRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+// NewRand returns a deterministic, snapshot-serializable source seeded with
+// seed (see Stream). Every random draw in the repository flows through
+// explicitly seeded Streams so a simulation can be checkpointed and resumed
+// bit-exactly.
+func NewRand(seed int64) *Stream {
+	return NewStream(seed)
 }
 
 // Exponential draws an exponential variate with the given mean.

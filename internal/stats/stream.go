@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream is a deterministic, explicitly seeded random stream whose complete
+// state is four exported words — the property the checkpoint/restore layer
+// needs. The standard library's math/rand sources keep their state private
+// (a 607-word lagged-Fibonacci ring for v1, and v2's PCG only round-trips
+// through MarshalBinary), so a simulator built on them cannot be resumed
+// bit-exactly from a snapshot. Stream is a self-contained xoshiro256++
+// generator: every variate is a pure function of the four state words, so
+// State/Restore round-trips reproduce the remaining sequence exactly, on
+// any platform and across Go releases.
+//
+// Stream implements the Rand interface. It is not safe for concurrent use;
+// the simulator is single-threaded per run.
+type Stream struct {
+	s [4]uint64
+}
+
+// StreamState is a Stream's complete serializable state.
+type StreamState [4]uint64
+
+// splitmix64 is the seed expander recommended by the xoshiro authors: it
+// decorrelates nearby seeds and can never produce the all-zero state from
+// any input sequence.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStream returns a stream seeded deterministically from seed.
+func NewStream(seed int64) *Stream {
+	st := &Stream{}
+	x := uint64(seed)
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	return st
+}
+
+// State returns the stream's complete state. Restoring it with
+// RestoreStream resumes the variate sequence exactly where it left off.
+func (r *Stream) State() StreamState { return r.s }
+
+// RestoreStream reconstructs a stream from a previously captured state. The
+// all-zero state is the one fixed point of xoshiro256++ (it would emit
+// zeros forever) and is rejected: no NewStream-seeded stream can reach it,
+// so seeing one means the snapshot is corrupt.
+func RestoreStream(st StreamState) (*Stream, error) {
+	if st[0] == 0 && st[1] == 0 && st[2] == 0 && st[3] == 0 {
+		return nil, fmt.Errorf("stats: all-zero stream state is invalid")
+	}
+	return &Stream{s: st}, nil
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit output (xoshiro256++).
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1, by inversion:
+// -ln(1-U). Inversion (rather than math/rand's ziggurat) keeps the draw a
+// pure function of a single uniform, which is what makes the stream's
+// remaining sequence depend only on its four state words.
+func (r *Stream) ExpFloat64() float64 {
+	return -math.Log1p(-r.Float64())
+}
+
+// NormFloat64 returns a standard normal variate via the Box-Muller
+// transform. The cosine branch is used alone — no cached second variate —
+// so the generator carries no hidden state beyond the four stream words.
+func (r *Stream) NormFloat64() float64 {
+	// 1-U ∈ (0, 1] keeps the logarithm finite.
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0. Modulo
+// bias is removed by rejection, so the distribution is exactly uniform.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Intn bound must be positive, got %d", n))
+	}
+	bound := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%bound
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a, b := NewStream(42), NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+// TestStreamStateRoundTrip is the property the snapshot layer depends on:
+// capturing the state mid-sequence and restoring it reproduces the exact
+// remaining sequence, across every variate kind.
+func TestStreamStateRoundTrip(t *testing.T) {
+	r := NewStream(7)
+	// Burn an arbitrary prefix mixing variate kinds so the state is
+	// mid-sequence, not fresh.
+	for i := 0; i < 137; i++ {
+		r.Float64()
+		r.NormFloat64()
+		r.ExpFloat64()
+		r.Intn(17)
+	}
+	st := r.State()
+	clone, err := RestoreStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := r.Float64(), clone.Float64(); a != b {
+			t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+		}
+		if a, b := r.NormFloat64(), clone.NormFloat64(); a != b {
+			t.Fatalf("NormFloat64 diverged at %d: %v vs %v", i, a, b)
+		}
+		if a, b := r.ExpFloat64(), clone.ExpFloat64(); a != b {
+			t.Fatalf("ExpFloat64 diverged at %d: %v vs %v", i, a, b)
+		}
+		if a, b := r.Intn(1000), clone.Intn(1000); a != b {
+			t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestRestoreStreamRejectsZeroState(t *testing.T) {
+	if _, err := RestoreStream(StreamState{}); err == nil {
+		t.Fatal("all-zero state accepted")
+	}
+}
+
+func TestStreamRanges(t *testing.T) {
+	r := NewStream(1)
+	for i := 0; i < 20000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if e := r.ExpFloat64(); e < 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+			t.Fatalf("ExpFloat64 invalid: %v", e)
+		}
+		if n := r.NormFloat64(); math.IsInf(n, 0) || math.IsNaN(n) {
+			t.Fatalf("NormFloat64 invalid: %v", n)
+		}
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of [0,7): %d", v)
+		}
+	}
+}
+
+// TestStreamMoments sanity-checks the variate transforms against their
+// distributions' first two moments.
+func TestStreamMoments(t *testing.T) {
+	r := NewStream(99)
+	const n = 200000
+	var sumN, sumN2, sumE float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sumN += x
+		sumN2 += x * x
+		sumE += r.ExpFloat64()
+	}
+	if mean := sumN / n; math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if v := sumN2 / n; math.Abs(v-1) > 0.03 {
+		t.Errorf("normal variance %v, want ~1", v)
+	}
+	if mean := sumE / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}

@@ -20,7 +20,7 @@ func Example() {
 	fmt.Printf("peak day: %d\n", s.PeakDay)
 	// Output:
 	// jobs: 4574
-	// requests: 8940
+	// requests: 9024
 	// peak day: 2
 }
 
