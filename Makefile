@@ -48,13 +48,14 @@ fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSnapshotResume -fuzztime $(FUZZTIME)
 
-## bench-smoke: run every Kernel* and Engine* micro-benchmark exactly
-## once. Not a measurement — a liveness gate: benchmarks bit-rot silently
-## because `go test` never executes them, so check runs each for one
-## iteration.
+## bench-smoke: run every Kernel*, Engine*, and Sweep micro-benchmark
+## exactly once. Not a measurement — a liveness gate: benchmarks bit-rot
+## silently because `go test` never executes them, so check runs each for
+## one iteration.
 bench-smoke:
 	$(GO) test ./internal/core -run '^$$' -bench '^BenchmarkKernel' -benchtime 1x
 	$(GO) test ./internal/sim -run '^$$' -bench '^BenchmarkEngine' -benchtime 1x
+	$(GO) test ./internal/exp -run '^$$' -bench '^BenchmarkSweep' -benchtime 1x
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
 ## (covers the lock-free metrics hot path and the parallel experiment
@@ -76,11 +77,14 @@ bench-paper:
 	$(GO) test . -run '^$$' -bench . -benchmem
 
 ## bench-json: regenerate BENCH_core.json (kernel vs the frozen pre-kernel
-## implementation on build / round / arrival at 100 and 1000 PMs) and
-## BENCH_engine.json (calendar-queue scheduler vs the frozen binary heap
-## at 10k / 100k / 1M dispatched events).
+## implementation on build / round / arrival at 100 and 1000 PMs, plus the
+## slab-vs-scalar row-fill ratio), BENCH_engine.json (calendar-queue
+## scheduler vs the frozen binary heap at 10k / 100k / 1M dispatched
+## events), and BENCH_sweep.json (replication-sweep runs/sec at 1/2/4/8
+## workers, merged reports asserted byte-identical across worker counts).
 bench-json:
-	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json -engine-o BENCH_engine.json
+	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json \
+		-engine-o BENCH_engine.json -sweep-o BENCH_sweep.json
 
 ## bench-diff: re-measure both suites into a temp directory and compare
 ## against the committed BENCH_*.json, warning on any per-operation timing
@@ -89,9 +93,11 @@ bench-json:
 bench-diff:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/benchreport -sizes 100,1000 \
-		-o $$tmp/BENCH_core.json -engine-o $$tmp/BENCH_engine.json && \
+		-o $$tmp/BENCH_core.json -engine-o $$tmp/BENCH_engine.json \
+		-sweep-o $$tmp/BENCH_sweep.json && \
 	$(GO) run ./cmd/benchreport -diff BENCH_core.json $$tmp/BENCH_core.json && \
 	$(GO) run ./cmd/benchreport -diff BENCH_engine.json $$tmp/BENCH_engine.json && \
+	$(GO) run ./cmd/benchreport -diff BENCH_sweep.json $$tmp/BENCH_sweep.json && \
 	rm -rf $$tmp
 
 ## profile: capture CPU and heap profiles from the seed workload under the

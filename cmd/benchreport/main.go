@@ -9,6 +9,15 @@
 //     pre-rewrite binary heap (frozen in internal/sim/schedheap) on a
 //     steady-state churn workload at several total-event scales, with
 //     events/sec and the wheel's allocation rate.
+//   - BENCH_sweep.json — replication-sweep throughput (runs/sec) of
+//     exp.RunSweep at several worker counts over a fixed reduced
+//     configuration, with the host's CPU count recorded (scaling is bound
+//     by available cores) and the merged reports asserted byte-identical
+//     across worker counts.
+//
+// BENCH_core.json additionally records, per scale, the slab-vs-scalar row
+// fill ratio: the batched aligned-slab kernel path against the same kernel
+// with MatrixOptions.DisableSlab, both rows asserted bit-identical first.
 //
 // It complements the `go test -bench` micro-benchmarks: those compare
 // alternatives inside the current implementation, while this command
@@ -18,9 +27,10 @@
 //
 // Usage:
 //
-//	benchreport [-suite all|core|engine] [-o BENCH_core.json]
-//	            [-engine-o BENCH_engine.json] [-sizes 100,1000]
-//	            [-events 10000,100000,1000000] [-benchtime 300ms]
+//	benchreport [-suite all|core|engine|sweep] [-o BENCH_core.json]
+//	            [-engine-o BENCH_engine.json] [-sweep-o BENCH_sweep.json]
+//	            [-sizes 100,1000] [-events 10000,100000,1000000]
+//	            [-sweep-workers 1,2,4,8] [-benchtime 300ms]
 //	benchreport -diff old.json new.json [-threshold 0.2]
 package main
 
@@ -39,10 +49,12 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/core/oracle"
+	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/sim/schedheap"
 	"repro/internal/stats"
 	"repro/internal/vector"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -61,13 +73,18 @@ type Report struct {
 	Scales      []Scale `json:"scales"`
 }
 
-// Scale holds one fleet size's measurements.
+// Scale holds one fleet size's measurements. Build, Round, and Arrival
+// compare the kernel against the frozen pre-kernel oracle; Slab compares
+// the kernel's batched aligned-slab row fill against the same kernel's
+// scalar fill (MatrixOptions.DisableSlab) — current code both sides, the
+// layout being the only difference.
 type Scale struct {
 	PMs     int         `json:"pms"`
 	VMs     int         `json:"vms"`
 	Build   Measurement `json:"build"`
 	Round   Measurement `json:"round"`
 	Arrival Measurement `json:"arrival"`
+	Slab    Measurement `json:"slab"`
 }
 
 // Measurement compares the kernel path against the pre-kernel path on one
@@ -115,28 +132,35 @@ func run(args []string, out io.Writer) error {
 	}
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		suite      = fs.String("suite", "all", "which suite to run: all, core, or engine")
-		outPath    = fs.String("o", "BENCH_core.json", "core output JSON path (- for stdout)")
-		enginePath = fs.String("engine-o", "BENCH_engine.json", "engine output JSON path (- for stdout)")
-		sizesFlag  = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
-		eventsFlag = fs.String("events", "10000,100000,1000000", "comma-separated total event counts")
-		benchtime  = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
+		suite       = fs.String("suite", "all", "which suite to run: all, core, engine, or sweep")
+		outPath     = fs.String("o", "BENCH_core.json", "core output JSON path (- for stdout)")
+		enginePath  = fs.String("engine-o", "BENCH_engine.json", "engine output JSON path (- for stdout)")
+		sweepPath   = fs.String("sweep-o", "BENCH_sweep.json", "sweep output JSON path (- for stdout)")
+		sizesFlag   = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
+		eventsFlag  = fs.String("events", "10000,100000,1000000", "comma-separated total event counts")
+		workersFlag = fs.String("sweep-workers", "1,2,4,8", "comma-separated sweep worker counts")
+		benchtime   = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *suite {
-	case "all", "core", "engine":
+	case "all", "core", "engine", "sweep":
 	default:
-		return fmt.Errorf("bad -suite %q (want all, core, or engine)", *suite)
+		return fmt.Errorf("bad -suite %q (want all, core, engine, or sweep)", *suite)
 	}
-	if *suite != "engine" {
+	if *suite == "all" || *suite == "core" {
 		if err := runCore(out, *outPath, *sizesFlag, *benchtime); err != nil {
 			return err
 		}
 	}
-	if *suite != "core" {
+	if *suite == "all" || *suite == "engine" {
 		if err := runEngine(out, *enginePath, *eventsFlag, *benchtime); err != nil {
+			return err
+		}
+	}
+	if *suite == "all" || *suite == "sweep" {
+		if err := runSweepSuite(out, *sweepPath, *workersFlag, *benchtime); err != nil {
 			return err
 		}
 	}
@@ -185,6 +209,161 @@ func runEngine(out io.Writer, outPath, eventsFlag string, benchtime time.Duratio
 		rep.Scales = append(rep.Scales, sc)
 	}
 	return writeJSON(out, outPath, rep)
+}
+
+// SweepBenchReport is the schema of BENCH_sweep.json. Throughput scaling
+// is bound by the host's cores, so the report records the CPU count the
+// numbers were taken on: on a 1-CPU machine runs/sec stays flat across
+// worker counts by physics, not by defect.
+type SweepBenchReport struct {
+	Description string       `json:"description"`
+	Go          string       `json:"go"`
+	Generated   string       `json:"generated"`
+	Benchtime   string       `json:"benchtime"`
+	CPUs        int          `json:"cpus"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Schemes     []string     `json:"schemes"`
+	Seeds       int          `json:"seeds"`
+	Nodes       int          `json:"nodes"`
+	JobsPerSeed int          `json:"jobs_per_seed"`
+	RunsPerOp   int          `json:"runs_per_sweep"`
+	Identical   bool         `json:"merged_reports_identical"`
+	Scales      []SweepScale `json:"scales"`
+}
+
+// SweepScale is one worker count's throughput measurement.
+type SweepScale struct {
+	Workers    int     `json:"workers"`
+	SweepNsOp  float64 `json:"sweep_ns_op"`
+	RunNsOp    float64 `json:"run_ns_op"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	Speedup    float64 `json:"speedup_vs_w1"`
+	Iters      int     `json:"sweep_iters"`
+}
+
+// Fixed reduced configuration for the sweep suite: the paper's scheme trio
+// over eight seeds on a 32-node Table II-mix fleet, each seed's week trace
+// truncated to its first 500 jobs. Small enough that a full sweep is
+// seconds, big enough that a run exercises the real consolidation path.
+const (
+	sweepBenchNodes = 32
+	sweepBenchJobs  = 500
+	sweepBenchSeeds = 8
+)
+
+func sweepBenchOptions(workers int) exp.SweepOptions {
+	seeds := make([]int64, sweepBenchSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return exp.SweepOptions{
+		Base: exp.Options{
+			SpareForDynamic: true,
+			Fleet:           func() *cluster.Datacenter { return cluster.TableIIFleetScaled(sweepBenchNodes) },
+			TraceGen: func(seed int64) []workload.Request {
+				jobs, _ := exp.WeekTrace(seed)
+				if len(jobs) > sweepBenchJobs {
+					jobs = jobs[:sweepBenchJobs]
+				}
+				return workload.ToRequests(jobs)
+			},
+		},
+		Schemes: []string{"first-fit", "best-fit", "dynamic"},
+		Seeds:   seeds,
+		Workers: workers,
+	}
+}
+
+// runSweepSuite measures exp.RunSweep throughput at each worker count and,
+// first, asserts the deterministic-merge contract the sweep runner makes:
+// the merged report must serialize byte-identically no matter how many
+// workers ran it.
+func runSweepSuite(out io.Writer, outPath, workersFlag string, benchtime time.Duration) error {
+	workerCounts, err := parseWorkers(workersFlag)
+	if err != nil {
+		return err
+	}
+	rep := SweepBenchReport{
+		Description: "replication sweep throughput (exp.RunSweep): paper scheme trio x 8 seeds, " +
+			"32-node fleet, 500-job weeks; merged reports asserted byte-identical across worker counts",
+		Go:          runtime.Version(),
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Benchtime:   benchtime.String(),
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Schemes:     sweepBenchOptions(1).Schemes,
+		Seeds:       sweepBenchSeeds,
+		Nodes:       sweepBenchNodes,
+		JobsPerSeed: sweepBenchJobs,
+		RunsPerOp:   3 * sweepBenchSeeds,
+	}
+
+	// Determinism gate before any timing: every worker count must merge
+	// to the same bytes as workers=1.
+	var reference []byte
+	for _, w := range workerCounts {
+		report, err := exp.RunSweep(sweepBenchOptions(w))
+		if err != nil {
+			return fmt.Errorf("sweep workers=%d: %w", w, err)
+		}
+		got, err := json.Marshal(report)
+		if err != nil {
+			return err
+		}
+		if reference == nil {
+			reference = got
+			continue
+		}
+		if string(got) != string(reference) {
+			return fmt.Errorf("sweep workers=%d: merged report differs from workers=%d (determinism violated)",
+				w, workerCounts[0])
+		}
+	}
+	rep.Identical = true
+
+	var base float64
+	for _, w := range workerCounts {
+		opts := sweepBenchOptions(w)
+		s, err := measure(benchtime, func() error {
+			_, err := exp.RunSweep(opts)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		sc := SweepScale{
+			Workers:    w,
+			SweepNsOp:  s.nsPerOp,
+			RunNsOp:    s.nsPerOp / float64(rep.RunsPerOp),
+			RunsPerSec: float64(rep.RunsPerOp) * 1e9 / s.nsPerOp,
+			Iters:      s.iters,
+		}
+		if base == 0 {
+			base = s.nsPerOp
+		}
+		sc.Speedup = base / s.nsPerOp
+		rep.Scales = append(rep.Scales, sc)
+		fmt.Fprintf(out, "workers=%-3d %7.2f runs/sec  (%.0fms/run, sweep %.2fs)  speedup %.2fx  [cpus=%d]\n",
+			w, sc.RunsPerSec, sc.RunNsOp/1e6, sc.SweepNsOp/1e9, sc.Speedup, rep.CPUs)
+	}
+	return writeJSON(out, outPath, rep)
+}
+
+// parseWorkers parses the -sweep-workers list; unlike parseSizes it
+// accepts 1 (the sequential baseline every speedup is relative to).
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty -sweep-workers list")
+	}
+	return counts, nil
 }
 
 func writeJSON(out io.Writer, path string, v any) error {
@@ -413,12 +592,50 @@ func measureScale(out io.Writer, pms, nVMs int, benchtime time.Duration) (Scale,
 	}
 	sc.Arrival = newMeasurement(k, n)
 
-	fmt.Fprintf(out, "pms=%-6d vms=%-6d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.3fms vs %.3fms)  arrival %.2fx (%.1fus vs %.1fus, %.1f allocs)\n",
+	// Slab: the row fill alone, batched aligned-slab path ("kernel")
+	// against the same kernel's scalar fill ("naive", DisableSlab). The
+	// rows are asserted bit-identical before timing; RefillRow rotates
+	// through the rows so the measurement averages over hosted-set sizes.
+	{
+		ctx, vms := benchState(pms, nVMs, seed)
+		slabM, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return sc, err
+		}
+		scalM, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{DisableSlab: true})
+		if err != nil {
+			return sc, err
+		}
+		for r := 0; r < slabM.Rows(); r++ {
+			for c := 0; c < slabM.Cols(); c++ {
+				if slabM.P(r, c) != scalM.P(r, c) {
+					return sc, fmt.Errorf("pms=%d: slab p[%d][%d]=%g != scalar %g (equivalence violated)",
+						pms, r, c, slabM.P(r, c), scalM.P(r, c))
+				}
+			}
+		}
+		rows := slabM.Rows()
+		kr, nr := 0, 0
+		k, err = measure(benchtime, func() error { slabM.RefillRow(kr % rows); kr++; return nil })
+		if err != nil {
+			return sc, err
+		}
+		n, err = measure(benchtime, func() error { scalM.RefillRow(nr % rows); nr++; return nil })
+		if err != nil {
+			return sc, err
+		}
+		slabM.Release()
+		scalM.Release()
+	}
+	sc.Slab = newMeasurement(k, n)
+
+	fmt.Fprintf(out, "pms=%-6d vms=%-6d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.3fms vs %.3fms)  arrival %.2fx (%.1fus vs %.1fus, %.1f allocs)  slab %.2fx (%.1fus vs %.1fus)\n",
 		sc.PMs, sc.VMs,
 		sc.Build.Speedup, sc.Build.KernelNsOp/1e6, sc.Build.NaiveNsOp/1e6,
 		sc.Round.Speedup, sc.Round.KernelNsOp/1e6, sc.Round.NaiveNsOp/1e6,
 		sc.Arrival.Speedup, sc.Arrival.KernelNsOp/1e3, sc.Arrival.NaiveNsOp/1e3,
-		sc.Arrival.KernelAllocsOp)
+		sc.Arrival.KernelAllocsOp,
+		sc.Slab.Speedup, sc.Slab.KernelNsOp/1e3, sc.Slab.NaiveNsOp/1e3)
 	return sc, nil
 }
 
@@ -604,9 +821,9 @@ func runDiff(args []string, out io.Writer) error {
 
 // loadMetrics flattens a benchreport JSON file into metric -> ns-per-op
 // entries. It is schema-agnostic: every numeric leaf whose key ends in
-// _ns_op or _ns_event is collected, keyed by scale (pms=N or events=N) and
-// field path, so core and engine reports both work and future fields join
-// automatically.
+// _ns_op or _ns_event is collected, keyed by scale (pms=N, events=N, or
+// workers=N) and field path, so core, engine, and sweep reports all work
+// and future fields join automatically.
 func loadMetrics(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -625,6 +842,8 @@ func loadMetrics(path string) (map[string]float64, error) {
 			prefix = fmt.Sprintf("pms=%d", int(v))
 		} else if v, ok := scale["events"].(float64); ok {
 			prefix = fmt.Sprintf("events=%d", int(v))
+		} else if v, ok := scale["workers"].(float64); ok {
+			prefix = fmt.Sprintf("workers=%d", int(v))
 		}
 		var walk func(string, any)
 		walk = func(key string, v any) {

@@ -1,0 +1,214 @@
+// Command sweep runs a replication sweep: the full scheme x seed cross
+// product, each (scheme, seed) pair one independent simulation, scheduled
+// across a work-stealing worker pool (exp.RunSweep) and merged into a
+// deterministic report. One seed is one sample — policy comparisons only
+// mean something across replications, and this command is the batch tool
+// that produces them: per-scheme mean/stddev/min/max of the week energy,
+// active-server, migration, and queueing metrics.
+//
+// Usage:
+//
+//	sweep [-schemes first-fit,best-fit,dynamic] [-reps 8 | -seeds 1,4,9]
+//	      [-workers 0] [-nodes 100] [-jobs 0] [-spare] [-o report.json]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
+//
+// Each seed generates its own synthetic week (the Figure 2 calibration),
+// shared read-only by every scheme replaying it; -jobs truncates each week
+// to its first N jobs for quick sweeps. -workers bounds the concurrent
+// runs (0 = GOMAXPROCS); the merged report — and therefore the -o JSON —
+// is byte-identical for every worker count, so a sweep's output can be
+// compared across machines regardless of their core counts.
+//
+// The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
+// the whole sweep for `go tool pprof`, mirroring cmd/dvmpsim; with more
+// than one worker the CPU profile shows the placement hot path replicated
+// across worker goroutines, which is how slab-kernel and scheduler costs
+// are attributed under the parallel load (see README "Profiling").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		schemesFlag = fs.String("schemes", "", "comma-separated schemes (default: the paper's trio)")
+		reps        = fs.Int("reps", 8, "number of replications; seeds are 1..reps")
+		seedsFlag   = fs.String("seeds", "", "explicit comma-separated seed list (overrides -reps)")
+		workers     = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		nodes       = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
+		jobCount    = fs.Int("jobs", 0, "truncate each seed's week to the first N jobs (0 = all)")
+		useSpare    = fs.Bool("spare", true, "attach the spare-server controller to the dynamic scheme")
+		outPath     = fs.String("o", "", "write the merged report as JSON to this file (- for stdout)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf     = fs.String("memprofile", "", "write an end-of-sweep heap profile to this file")
+		verbose     = fs.Bool("v", false, "print every run, not just the per-scheme aggregates")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *reps < 1 && *seedsFlag == "":
+		return fmt.Errorf("-reps must be positive (got %d)", *reps)
+	case *nodes <= 0:
+		return fmt.Errorf("-nodes must be positive (got %d)", *nodes)
+	case *jobCount < 0:
+		return fmt.Errorf("-jobs must be >= 0 (got %d)", *jobCount)
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+
+	seeds, err := parseSeeds(*seedsFlag, *reps)
+	if err != nil {
+		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+			}
+		}()
+	}
+
+	opts := exp.SweepOptions{
+		Base: exp.Options{
+			SpareForDynamic: *useSpare,
+			TraceGen:        traceGen(*jobCount),
+		},
+		Seeds:   seeds,
+		Workers: *workers,
+	}
+	if *schemesFlag != "" {
+		for _, s := range strings.Split(*schemesFlag, ",") {
+			opts.Schemes = append(opts.Schemes, strings.TrimSpace(s))
+		}
+	}
+	if *nodes != 100 {
+		n := *nodes
+		opts.Base.Fleet = func() *cluster.Datacenter { return cluster.TableIIFleetScaled(n) }
+	}
+
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	report, err := exp.RunSweep(opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "sweep: %d runs (%d schemes x %d seeds) on %d workers in %.2fs (%.2f runs/sec)\n\n",
+		len(report.Runs), len(report.Schemes), len(report.Seeds), effWorkers,
+		elapsed.Seconds(), float64(len(report.Runs))/elapsed.Seconds())
+	if *verbose {
+		fmt.Fprintf(out, "%-12s %6s %12s %9s %11s %7s %8s\n",
+			"scheme", "seed", "week kWh", "meanPMs", "migrations", "boots", "queued%")
+		for _, r := range report.Runs {
+			fmt.Fprintf(out, "%-12s %6d %12.1f %9.1f %11d %7d %7.2f%%\n",
+				r.Scheme, r.Seed, r.WeekEnergyKWh, r.MeanActivePMs,
+				r.Migrations, r.Boots, r.QueuedFraction*100)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "%-12s %5s %21s %19s %9s %12s %8s\n",
+		"scheme", "runs", "week kWh (mean±sd)", "[min, max]", "meanPMs", "migrations", "queued%")
+	for _, a := range report.Aggregates {
+		fmt.Fprintf(out, "%-12s %5d %13.1f ± %5.1f [%7.1f, %7.1f] %9.1f %12.1f %7.2f%%\n",
+			a.Scheme, a.Runs,
+			a.WeekEnergyKWh.Mean, a.WeekEnergyKWh.StdDev,
+			a.WeekEnergyKWh.Min, a.WeekEnergyKWh.Max,
+			a.MeanActivePMs.Mean, a.Migrations.Mean, a.QueuedFraction.Mean*100)
+	}
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *outPath == "-" {
+			_, err := out.Write(data)
+			return err
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *outPath)
+	}
+	return nil
+}
+
+// traceGen builds the per-seed workload generator: the synthetic week,
+// optionally truncated to its first n jobs (matching dvmpsim's -jobs).
+func traceGen(n int) func(seed int64) []workload.Request {
+	return func(seed int64) []workload.Request {
+		jobs, reqs := exp.WeekTrace(seed)
+		if n <= 0 || n >= len(jobs) {
+			return reqs
+		}
+		return workload.ToRequests(jobs[:n])
+	}
+}
+
+// parseSeeds resolves the replication seeds: the explicit -seeds list when
+// given, else 1..reps.
+func parseSeeds(list string, reps int) ([]int64, error) {
+	if list == "" {
+		seeds := make([]int64, reps)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed entry %q", f)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds, nil
+}

@@ -68,3 +68,26 @@ func TestConsolidateAllocBudget(t *testing.T) {
 			avg, perVM, consolidateAllocsPerVM)
 	}
 }
+
+// TestSlabRowFillAllocBudget pins the slab path's steady-state property:
+// once the aligned working slabs have grown to the row width, refilling a
+// row allocates nothing at all.
+func TestSlabRowFillAllocBudget(t *testing.T) {
+	ctx, vms := tableIIState(t, 200, 400, 7)
+	m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.kern == nil || m.kern.noSlab {
+		t.Fatal("slab path not engaged")
+	}
+	m.fillRow(0) // warm the row scratch slabs
+	r := 0
+	avg := testing.AllocsPerRun(100, func() {
+		m.fillRow(r % m.Rows())
+		r++
+	})
+	if avg > 0 {
+		t.Fatalf("slab row fill allocates %.2f allocs/op on warm scratch, budget 0", avg)
+	}
+}

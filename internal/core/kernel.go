@@ -96,9 +96,29 @@ type kernel struct {
 	rowClass []int
 
 	// vir memoizes the non-host virtualization penalty per column and
-	// class, flattened as vir[c*len(infos)+classIdx]. With C classes
-	// this is N*C evaluations of Eq. 3 instead of N*M.
-	vir []float64
+	// class. With C classes this is N*C evaluations of Eq. 3 instead of
+	// N*M. It is stored class-major in a 64-byte-aligned slab — one
+	// contiguous lane of virStride float64s per class (ncols rounded up
+	// to a whole cache line), addressed vir[ci*virStride+c] — so the
+	// batched row fill streams one aligned, contiguous lane per row
+	// instead of striding through a column-major interleave.
+	vir       []float64
+	virStride int
+	ncols     int
+
+	// noSlab forces the scalar cell-at-a-time row fill; set through
+	// MatrixOptions.DisableSlab so benchmarks and differential tests can
+	// pit the batched path against its scalar ancestor.
+	noSlab bool
+
+	// hostHead/hostNext/hostPrev index the hosted cells per row (built
+	// only for the default program): hostHead[r] heads a doubly-linked,
+	// -1-terminated list of the columns row r currently hosts, threaded
+	// through hostNext/hostPrev by column. Kept in step with migrations
+	// by moveHosted. Nil when no column is hosted (arrival kernels).
+	hostHead []int32
+	hostNext []int32
+	hostPrev []int32
 
 	// demands holds the distinct demand vectors across the columns and
 	// demIdx maps each column to its shape. Real traces request few
@@ -153,8 +173,9 @@ func newKernelInto(ks *kernScratch, ctx *Context, factors []Factor, pms []*clust
 	ks.infos = k.infos
 
 	nc := len(k.infos)
-	k.vir = growFloats(ks.vir, len(vms)*nc)
-	ks.vir = k.vir
+	k.ncols = len(vms)
+	k.virStride = alignUp(len(vms))
+	ks.vir, k.vir = alignedFloats(ks.vir, nc*k.virStride)
 	for c, vm := range vms {
 		tre := vm.RemainingEstimate(ctx.Now)
 		for ci := range k.infos {
@@ -164,12 +185,13 @@ func newKernelInto(ks *kernScratch, ctx *Context, factors []Factor, pms []*clust
 				// there is nothing to transfer yet.
 				overhead = classCreationTime(pms, k.rowClass, ci)
 			}
-			k.vir[c*nc+ci] = virProbability(tre, overhead)
+			k.vir[ci*k.virStride+c] = virProbability(tre, overhead)
 		}
 	}
 
 	if k.isDefault {
 		k.internDemands(ks, vms)
+		k.buildHostIndex(ks, pms, vms)
 	}
 	return k, true
 }
@@ -217,12 +239,11 @@ func classCreationTime(pms []*cluster.PM, rowClass []int, ci int) float64 {
 }
 
 // fillRow evaluates every cell of row r into out. For the canonical
-// factor program this computes feasibility and the efficiency level once
-// per distinct demand shape (D evaluations) and composes the remaining
-// per-cell work from cached terms; otherwise it falls back to per-cell
-// evaluation through the term program. rs supplies the demand-shape memo
-// buffers — callers reuse one per goroutine, so the per-row fill
-// allocates nothing.
+// factor program it takes the batched slab path (fillRowSlab) — or, when
+// slabs are disabled, the scalar per-cell-branch path — and otherwise
+// falls back to per-cell evaluation through the term program. rs supplies
+// the memo and slab buffers — callers reuse one per goroutine, so the
+// per-row fill allocates nothing. All three paths are bit-identical.
 func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64, rs *rowScratch) {
 	if !k.isDefault {
 		for c, vm := range vms {
@@ -230,10 +251,22 @@ func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64
 		}
 		return
 	}
+	if !k.noSlab {
+		k.fillRowSlab(r, pm, vms, out, rs)
+		return
+	}
+	k.fillRowScalar(r, pm, vms, out, rs)
+}
+
+// fillRowScalar is the cell-at-a-time default-program row fill the slab
+// path replaced: per-demand-shape memos, then a column loop with
+// feasibility and zero short-circuit branches. Kept as the DisableSlab
+// reference so differential tests and benchmarks can compare the batched
+// path against it directly.
+func (k *kernel) fillRowScalar(r int, pm *cluster.PM, vms []*cluster.VM, out []float64, rs *rowScratch) {
 	ci := k.rowClass[r]
 	info := k.infos[ci]
 	rel := pm.Reliability
-	nc := len(k.infos)
 
 	// Per-demand-shape memo for this row: p_res (feasibility) and the
 	// non-host p_eff. Identical inputs to the per-cell path (the interned
@@ -263,7 +296,7 @@ func (k *kernel) fillRow(r int, pm *cluster.PM, vms []*cluster.VM, out []float64
 			out[c] = 0
 			continue
 		}
-		p := k.vir[c*nc+ci]
+		p := k.vir[ci*k.virStride+c]
 		if p == 0 {
 			out[c] = 0
 			continue
@@ -297,7 +330,7 @@ func (k *kernel) cell(r, c int, pm *cluster.PM, vm *cluster.VM, hosted bool) flo
 			if hosted {
 				continue
 			}
-			q = k.vir[c*len(k.infos)+ci]
+			q = k.vir[ci*k.virStride+c]
 		case opRel:
 			q = pm.Reliability
 		case opEff:
@@ -334,7 +367,7 @@ func (k *kernel) cellDefault(ci, c int, pm *cluster.PM, vm *cluster.VM, hosted b
 	if !pm.CanHost(vm.Demand) {
 		return 0
 	}
-	p := k.vir[c*len(k.infos)+ci]
+	p := k.vir[ci*k.virStride+c]
 	if p == 0 {
 		return 0
 	}

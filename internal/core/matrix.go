@@ -99,6 +99,13 @@ type MatrixOptions struct {
 	// kernel against the naive path (cmd/benchreport).
 	DisableKernel bool
 
+	// DisableSlab keeps the factored kernel but forces the scalar
+	// cell-at-a-time row fill instead of the batched aligned-slab path
+	// (slab.go). The two fills are bit-identical (TestSlabEquivalence);
+	// the switch exists to benchmark the slab layout against its scalar
+	// ancestor (cmd/benchreport emits the ratio).
+	DisableSlab bool
+
 	// SelfAudit makes every Apply verify the incrementally maintained
 	// state against a cold rebuild: probabilities, column trackers, and
 	// the heap root must be bit-identical to a fresh NewMatrixWith over
@@ -157,6 +164,9 @@ func NewMatrixWith(ctx *Context, factors []Factor, vms []*cluster.VM, opts Matri
 
 	if !opts.DisableKernel {
 		m.kern, _ = newKernelInto(&scr.ks, ctx, factors, m.pms, m.vms)
+		if m.kern != nil {
+			m.kern.noSlab = opts.DisableSlab
+		}
 	}
 
 	nr, nc := len(m.pms), len(m.vms)
@@ -263,6 +273,17 @@ func (m *Matrix) fill() {
 // scratch (the single-threaded fill, recomputeRow).
 func (m *Matrix) fillRow(r int) {
 	m.fillRowWith(r, &m.scr.rs)
+}
+
+// RefillRow recomputes the probability entries of row r in place without
+// touching the derived structures (column trackers, best-move heap). It is
+// the measurement hook behind the slab-vs-scalar comparison in
+// BENCH_core.json: cmd/benchreport needs to time the row fill alone from
+// outside the package. After RefillRow the trackers are stale with respect
+// to p, so production code never calls it — Apply refills and repairs
+// everything together.
+func (m *Matrix) RefillRow(r int) {
+	m.fillRow(r)
 }
 
 // fillRowWith evaluates every cell of row r with an explicit row scratch,
@@ -663,6 +684,9 @@ func (m *Matrix) Apply(r, c int) error {
 		return fmt.Errorf("core: apply move of VM %d: %w", vm.ID, err)
 	}
 	vm.Migrations++
+	if m.kern != nil {
+		m.kern.moveHosted(c, m.rowOf[from.ID], r)
+	}
 	m.recomputeRow(m.rowOf[from.ID])
 	m.recomputeRow(m.rowOf[to.ID])
 	if m.opts.SelfAudit {

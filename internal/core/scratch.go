@@ -54,20 +54,48 @@ type kernScratch struct {
 	terms    []term
 	rowClass []int
 	infos    []*classInfo
-	vir      []float64
+	vir      []float64 // raw backing of the aligned vir slab (see alignedFloats)
 	demIdx   []int
 	demands  []vector.V
 	classIdx map[*cluster.PMClass]int
 	shapes   map[string]int
 	key      []byte
+
+	// Hosted-cell index storage (see kernel.buildHostIndex).
+	hostHead []int32
+	hostNext []int32
+	hostPrev []int32
+	hostIdx  map[cluster.PMID]int32
 }
 
-// rowScratch holds fillRow's per-demand-shape memo buffers. Every
-// concurrent row filler owns one; the serial fill and recomputeRow reuse
-// the matrix's.
+// rowScratch holds fillRow's per-demand-shape memo buffers and the slab
+// path's aligned working slabs. Every concurrent row filler owns one; the
+// serial fill and recomputeRow reuse the matrix's.
 type rowScratch struct {
 	feas []bool
 	eff  []float64
+
+	// Raw backings for the slab path's aligned views (alignedFloats):
+	// effZRaw holds the per-demand-shape efficiency memo, effColRaw its
+	// per-column expansion.
+	effZRaw   []float64
+	effColRaw []float64
+}
+
+// shapeSlab returns the aligned per-demand-shape slab sized for d shapes.
+// Contents are unspecified; fillRowSlab writes every entry.
+func (rs *rowScratch) shapeSlab(d int) []float64 {
+	var v []float64
+	rs.effZRaw, v = alignedFloats(rs.effZRaw, d)
+	return v
+}
+
+// colSlab returns the aligned per-column slab sized for n columns.
+// Contents are unspecified; fillRowSlab writes every entry.
+func (rs *rowScratch) colSlab(n int) []float64 {
+	var v []float64
+	rs.effColRaw, v = alignedFloats(rs.effColRaw, n)
+	return v
 }
 
 // buffers returns the memo buffers sized for d demand shapes, feasibility

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/vector"
+)
+
+// slabState is tableIIState hardened for the slab path's edge cases: a
+// zero-reliability PM (p_rel = 0 must propagate as exact +0 through the
+// branch-free product), and a batch of expired-estimate VMs (remaining
+// estimate below the migration overhead zeroes p_vir — the scalar path
+// short-circuits there, the slab path multiplies through).
+func slabState(tb testing.TB, pmCount, nVMs int, seed int64) (*Context, []*cluster.VM) {
+	tb.Helper()
+	ctx, vms := tableIIState(tb, pmCount, nVMs, seed)
+	pms := ctx.DC.PMs()
+	pms[len(pms)/2].Reliability = 0
+	for i := 0; i < len(vms); i += 7 {
+		// Elapsed runtime beyond the estimate: RemainingEstimate clamps
+		// at zero, so p_vir = 0 for every non-host row.
+		vms[i].EstimatedRuntime = 1
+		vms[i].StartTime = 0
+	}
+	return ctx, vms
+}
+
+// TestSlabEquivalence is the three-way differential: the batched slab
+// fill, the scalar kernel fill (DisableSlab), and the generic Factor path
+// (DisableKernel) must produce bit-identical matrices — probabilities and
+// trackers — including under zero-reliability rows and expired-estimate
+// columns where the scalar path takes its literal-zero short circuits.
+func TestSlabEquivalence(t *testing.T) {
+	for _, size := range []struct{ pms, vms int }{{7, 11}, {40, 90}, {100, 260}} {
+		t.Run(fmt.Sprintf("pms%d", size.pms), func(t *testing.T) {
+			ctx, vms := slabState(t, size.pms, size.vms, 17)
+			slab, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slab.kern == nil || slab.kern.noSlab {
+				t.Fatal("default options did not engage the slab path")
+			}
+			scalar, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{DisableSlab: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scalar.kern == nil || !scalar.kern.noSlab {
+				t.Fatal("DisableSlab did not force the scalar fill")
+			}
+			generic, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{DisableKernel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMatricesEqual(t, slab, scalar)
+			assertMatricesEqual(t, slab, generic)
+		})
+	}
+}
+
+// TestSlabEquivalenceAfterApplies drives identical random migration
+// sequences through a slab matrix and a scalar-fill matrix over two
+// independent copies of the same fleet state. Every Apply goes through
+// moveHosted on the slab side, so divergence here means the hosted-cell
+// index drifted from the live vm.Host fields.
+func TestSlabEquivalenceAfterApplies(t *testing.T) {
+	ctxSlab, vmsSlab := slabState(t, 60, 140, 29)
+	ctxScalar, vmsScalar := slabState(t, 60, 140, 29)
+	slab, err := NewMatrixWith(ctxSlab, DefaultFactors(), vmsSlab, MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := NewMatrixWith(ctxScalar, DefaultFactors(), vmsScalar, MatrixOptions{DisableSlab: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(5)
+	applied := 0
+	for step := 0; step < 60; step++ {
+		c := rng.Intn(slab.Cols())
+		var rows []int
+		for r := 0; r < slab.Rows(); r++ {
+			if r != slab.curRow[c] && slab.p[r][c] > 0 {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		r := rows[rng.Intn(len(rows))]
+		if err := slab.Apply(r, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := scalar.Apply(r, c); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+		assertMatricesEqual(t, slab, scalar)
+	}
+	if applied < 20 {
+		t.Fatalf("only %d moves applied; property barely exercised", applied)
+	}
+}
+
+// TestSlabHostIndexTracksMoves checks the linked hosted index directly:
+// after a migration the column must appear exactly once, in the target
+// row's list.
+func TestSlabHostIndexTracksMoves(t *testing.T) {
+	ctx, vms := tableIIState(t, 20, 50, 3)
+	m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.kern
+	if k == nil || k.hostHead == nil {
+		t.Fatal("no hosted index on a fully hosted matrix")
+	}
+	check := func() {
+		t.Helper()
+		seen := make(map[int]int)
+		for r := range m.pms {
+			for c := k.hostHead[r]; c >= 0; c = k.hostNext[c] {
+				seen[int(c)]++
+				if m.vms[c].Host != m.pms[r].ID {
+					t.Fatalf("index lists column %d under PM %d, but VM %d is hosted on PM %d",
+						c, m.pms[r].ID, m.vms[c].ID, m.vms[c].Host)
+				}
+			}
+		}
+		if len(seen) != len(m.vms) {
+			t.Fatalf("index covers %d of %d columns", len(seen), len(m.vms))
+		}
+		for c, n := range seen {
+			if n != 1 {
+				t.Fatalf("column %d appears %d times in the index", c, n)
+			}
+		}
+	}
+	check()
+	rng := stats.NewRand(11)
+	for step := 0; step < 30; step++ {
+		c := rng.Intn(m.Cols())
+		for r := 0; r < m.Rows(); r++ {
+			if r != m.curRow[c] && m.p[r][c] > 0 {
+				if err := m.Apply(r, c); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		check()
+	}
+}
+
+// TestSlabAlignment pins the memory-layout contract: every slab view is
+// 64-byte aligned, and each class lane of the vir memo starts on a cache
+// line (the stride rounds the column count up to a whole line).
+func TestSlabAlignment(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 63, 64, 65, 1000} {
+		var raw, view []float64
+		raw, view = alignedFloats(raw, n)
+		if len(view) != n {
+			t.Fatalf("n=%d: view length %d", n, len(view))
+		}
+		if addr := uintptr(unsafe.Pointer(&view[0])); addr%slabAlign != 0 {
+			t.Fatalf("n=%d: slab base %#x not %d-byte aligned", n, addr, slabAlign)
+		}
+		// Regrowing through the same raw backing must stay aligned.
+		raw, view = alignedFloats(raw, n)
+		if addr := uintptr(unsafe.Pointer(&view[0])); addr%slabAlign != 0 {
+			t.Fatalf("n=%d: reused slab base %#x not aligned", n, addr)
+		}
+	}
+	if got := alignUp(0); got != 0 {
+		t.Fatalf("alignUp(0) = %d", got)
+	}
+	for _, n := range []int{1, 8, 9, 100} {
+		up := alignUp(n)
+		if up < n || up%floatsPerLine != 0 || up-n >= floatsPerLine {
+			t.Fatalf("alignUp(%d) = %d", n, up)
+		}
+	}
+
+	ctx, vms := tableIIState(t, 30, 70, 9)
+	m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.kern
+	if k.virStride != alignUp(len(m.vms)) {
+		t.Fatalf("virStride %d, want %d", k.virStride, alignUp(len(m.vms)))
+	}
+	for ci := range k.infos {
+		if addr := uintptr(unsafe.Pointer(&k.vir[ci*k.virStride])); addr%slabAlign != 0 {
+			t.Fatalf("vir lane %d base %#x not %d-byte aligned", ci, addr, slabAlign)
+		}
+	}
+}
+
+// TestSlabArrivalSkipsHostIndex pins the arrival fast path: a kernel
+// compiled over a single unhosted column must not build (or pay for) the
+// hosted index.
+func TestSlabArrivalSkipsHostIndex(t *testing.T) {
+	ctx, _ := tableIIState(t, 10, 20, 1)
+	arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+	var ks kernScratch
+	pms := ctx.DC.ActivePMs()
+	k, ok := newKernelInto(&ks, ctx, DefaultFactors(), pms, []*cluster.VM{arrival})
+	if !ok {
+		t.Fatal("kernel did not compile")
+	}
+	if k.hostHead != nil {
+		t.Fatal("unhosted-only kernel built a hosted index")
+	}
+}
+
+// BenchmarkKernelSlabMatrixBuild pits the batched slab fill against the
+// scalar kernel fill it replaced (same factored kernel, DisableSlab) on
+// the full matrix build. cmd/benchreport records the same ratio in
+// BENCH_core.json as the "slab" measurement.
+func BenchmarkKernelSlabMatrixBuild(b *testing.B) {
+	for _, slabOn := range []bool{true, false} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", slabPath(slabOn), pms), func(b *testing.B) {
+				ctx, vms := tableIIState(b, pms, 2*pms, 7)
+				opts := MatrixOptions{DisableSlab: !slabOn}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := NewMatrixWith(ctx, DefaultFactors(), vms, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(pms*len(vms)), "cells")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelSlabRowFill isolates the row-fill hot loop itself — the
+// code the slab layout targets — by repeatedly refilling rows of a
+// prebuilt matrix, bypassing the tracker and heap maintenance that
+// dominates a full build.
+func BenchmarkKernelSlabRowFill(b *testing.B) {
+	for _, slabOn := range []bool{true, false} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", slabPath(slabOn), pms), func(b *testing.B) {
+				ctx, vms := tableIIState(b, pms, 2*pms, 7)
+				m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{DisableSlab: !slabOn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.kern == nil {
+					b.Fatal("kernel not engaged")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.fillRow(i % m.Rows())
+				}
+				b.ReportMetric(float64(len(vms)), "cells")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelSlabRound measures the incremental per-round path (two
+// Applies, i.e. four row refills plus tracker maintenance) with and
+// without the slab fill.
+func BenchmarkKernelSlabRound(b *testing.B) {
+	for _, slabOn := range []bool{true, false} {
+		for _, pms := range benchSizes {
+			b.Run(fmt.Sprintf("%s/pms%d", slabPath(slabOn), pms), func(b *testing.B) {
+				ctx, vms := tableIIState(b, pms, 2*pms, 7)
+				m, err := NewMatrixWith(ctx, DefaultFactors(), vms, MatrixOptions{DisableSlab: !slabOn})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, c, _, ok := m.Best()
+				if !ok {
+					b.Fatal("no positive-gain move in the bench state")
+				}
+				origin := m.curRow[c]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := m.Apply(r, c); err != nil {
+						b.Fatal(err)
+					}
+					if err := m.Apply(origin, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func slabPath(on bool) string {
+	if on {
+		return "slab"
+	}
+	return "scalar"
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestParallelComparisonJoinsAllErrors pins the fixed error contract:
+// when several schemes fail, every failure is reported — under
+// parallelism "first error wins" used to mean "whichever goroutine lost
+// the race wins", silently dropping the rest.
+func TestParallelComparisonJoinsAllErrors(t *testing.T) {
+	opts := smallOptions()
+	opts.Schemes = []string{"bogus-a", "first-fit", "bogus-b"}
+	_, err := ParallelComparison(opts)
+	if err == nil {
+		t.Fatal("comparison with two bogus schemes succeeded")
+	}
+	for _, scheme := range []string{"bogus-a", "bogus-b"} {
+		if !strings.Contains(err.Error(), scheme) {
+			t.Errorf("joined error does not mention %s:\n%v", scheme, err)
+		}
+	}
+	if strings.Contains(err.Error(), "scheme first-fit:") {
+		t.Errorf("error blames the healthy scheme:\n%v", err)
+	}
+}
+
+// TestSweepGenericJoinsAllErrors covers the generic Sweep fan-out: every
+// failed item index must appear in the joined error.
+func TestSweepGenericJoinsAllErrors(t *testing.T) {
+	params := []int{0, 1, 2, 3}
+	_, err := Sweep(params, func(p int) (*SchemeRun, error) {
+		if p%2 == 0 {
+			return nil, fmt.Errorf("boom %d", p)
+		}
+		return &SchemeRun{}, nil
+	})
+	if err == nil {
+		t.Fatal("sweep with failing items succeeded")
+	}
+	for _, want := range []string{"sweep item 0", "sweep item 2", "boom 0", "boom 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "item 1") || strings.Contains(err.Error(), "item 3") {
+		t.Errorf("error blames healthy items:\n%v", err)
+	}
+}
+
+// TestRobustnessStudyJoinsAllErrors: a broken scheme fails at every seed,
+// and the study must name each (scheme, seed) pair.
+func TestRobustnessStudyJoinsAllErrors(t *testing.T) {
+	base := smallOptions()
+	base.Schemes = []string{"first-fit", "no-such-scheme"}
+	base.TraceGen = sweepTrace
+	_, err := RobustnessStudy(2, base)
+	if err == nil {
+		t.Fatal("study with a bogus scheme succeeded")
+	}
+	for seed := 1; seed <= 2; seed++ {
+		want := fmt.Sprintf("(scheme no-such-scheme, seed %d)", seed)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %s:\n%v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "scheme first-fit") {
+		t.Errorf("error blames the healthy scheme:\n%v", err)
+	}
+}
+
+// TestRobustnessStudyObserverPerSeed is the regression test for the
+// shared-observer hazard: the study runs the same scheme concurrently at
+// every seed, so a scheme-keyed Observe callback used to hand all those
+// runs one sink (and cmd/experiments-style file sinks collided on the
+// same path). The study must now disambiguate the key per seed and every
+// run must end up with a private observer.
+func TestRobustnessStudyObserverPerSeed(t *testing.T) {
+	const n = 3
+	base := smallOptions()
+	base.Schemes = []string{"first-fit", "dynamic"}
+	base.TraceGen = sweepTrace
+	var mu sync.Mutex
+	handed := map[string]*obs.Observer{}
+	base.Observe = func(key string) *obs.Observer {
+		o := obs.New()
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := handed[key]; dup {
+			t.Errorf("Observe key %q handed out twice — concurrent runs would share a sink", key)
+		}
+		handed[key] = o
+		return o
+	}
+	if _, err := RobustnessStudy(n, base); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if want := n * len(base.Schemes); len(handed) != want {
+		t.Fatalf("%d distinct observer keys, want %d: %v", len(handed), want, keys(handed))
+	}
+	for _, scheme := range base.Schemes {
+		for seed := 1; seed <= n; seed++ {
+			key := fmt.Sprintf("%s@seed%d", scheme, seed)
+			if _, ok := handed[key]; !ok {
+				t.Errorf("no observer handed for %s", key)
+			}
+		}
+	}
+}
+
+func keys(m map[string]*obs.Observer) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

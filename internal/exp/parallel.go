@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -32,10 +33,17 @@ func ParallelComparison(opts Options) ([]*SchemeRun, error) {
 	}
 	wg.Wait()
 
+	// Join every failure rather than reporting the first: under
+	// parallelism the "first" error is whichever scheme happened to lose
+	// the race, and a masked failure in another scheme would go
+	// unnoticed until a later run.
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp: parallel scheme %s: %w", opts.Schemes[i], err)
+			errs[i] = fmt.Errorf("exp: parallel scheme %s: %w", opts.Schemes[i], err)
 		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return runs, nil
 }
@@ -58,8 +66,11 @@ func Sweep[P any](params []P, fn func(P) (*SchemeRun, error)) ([]*SchemeRun, err
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp: sweep item %d: %w", i, err)
+			errs[i] = fmt.Errorf("exp: sweep item %d: %w", i, err)
 		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return runs, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -49,6 +51,18 @@ func RobustnessStudy(n int, base Options) ([]*SeedStudy, error) {
 		opts := base
 		opts.Seed = int64(si + 1)
 		opts.Trace = nil // each seed generates its own workload
+		if base.Observe != nil {
+			// The study runs the SAME scheme concurrently at every seed.
+			// Options.Observe is keyed by scheme name alone, so passing it
+			// through unwrapped would hand those concurrent runs one shared
+			// sink (or collide their trace files). Disambiguate the key
+			// with the seed; each run still gets whatever sink the caller
+			// builds for it.
+			seed := opts.Seed
+			opts.Observe = func(scheme string) *obs.Observer {
+				return base.Observe(fmt.Sprintf("%s@seed%d", scheme, seed))
+			}
+		}
 		reqs := traceGen(opts.Seed)
 		for pi, scheme := range base.Schemes {
 			wg.Add(1)
@@ -61,19 +75,27 @@ func RobustnessStudy(n int, base Options) ([]*SeedStudy, error) {
 	}
 	wg.Wait()
 
+	// Collect every failure across the grid before giving up: under
+	// parallelism first-error-wins hides real failures behind whichever
+	// one surfaced first.
+	var errSink []error
 	studies := make([]*SeedStudy, len(base.Schemes))
 	for pi, scheme := range base.Schemes {
 		st := &SeedStudy{Scheme: scheme}
 		for si := 0; si < n; si++ {
 			c := grid[si][pi]
 			if c.err != nil {
-				return nil, fmt.Errorf("exp: seed %d scheme %s: %w", si+1, scheme, c.err)
+				errSink = append(errSink, fmt.Errorf("exp: robustness (scheme %s, seed %d): %w", scheme, si+1, c.err))
+				continue
 			}
 			st.EnergyKWh = append(st.EnergyKWh, c.run.WeekEnergyKWh)
 			st.MeanActive = append(st.MeanActive, c.run.Summary.MeanActivePMs)
 			st.Queued = append(st.Queued, c.run.Summary.QueuedFraction)
 		}
 		studies[pi] = st
+	}
+	if err := errors.Join(errSink...); err != nil {
+		return nil, err
 	}
 	return studies, nil
 }

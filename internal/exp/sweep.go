@@ -1,0 +1,314 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file implements the replication sweep runner: R seeds x S schemes
+// simulated across GOMAXPROCS workers with a work-stealing scheduler and
+// a deterministic merge. Policy comparisons only mean something across
+// many replications (one seed is one sample), and the runs are
+// embarrassingly parallel — each owns a private fleet, placer, and RNG
+// stream — so the sweep saturates the machine while guaranteeing the
+// merged report is byte-identical no matter how many workers ran it or in
+// what order they finished.
+//
+// Scheduling. The task list is the full cross product, indexed
+// scheme-major (task = si*len(seeds)+vi). Each worker starts with an
+// interleaved share (worker w owns tasks w, w+W, w+2W, ...) held in a
+// private queue with an atomic take cursor; a worker that drains its own
+// queue steals from the others round-robin. Interleaving spreads each
+// scheme's runs across all workers (scheme costs differ wildly — dynamic
+// consolidates, first-fit doesn't), and stealing absorbs whatever
+// imbalance remains. Every take is a fetch-add on the owning queue's
+// cursor, so a task runs exactly once regardless of which worker takes it.
+//
+// Memory. A completed run is reduced to a compact SweepRun immediately,
+// on the worker, before the next task starts — the full sim.Result (the
+// hourly series, the event machinery) becomes garbage right away, so live
+// heavy state is bounded by the worker count, not the sweep size. Traces
+// are generated once per seed (lazily, by whichever worker first needs
+// one) and shared read-only across the schemes replaying that seed.
+//
+// Determinism. Workers write results only at their task's index, so the
+// result slice is in (scheme, seed) order by construction — no sort, no
+// completion-order dependence — and each run is the deterministic
+// function of its (scheme, seed) alone. The report records nothing about
+// the execution (no worker count, no timing), so its JSON encoding is
+// byte-identical across worker counts; TestSweepDeterministicAcrossWorkers
+// pins exactly that.
+
+// SweepOptions configures a replication sweep.
+type SweepOptions struct {
+	// Base supplies the per-run configuration template: fleet, failures,
+	// spare policy, and (via TraceGen) the workload family. Base.Seed,
+	// Base.Schemes, and Base.Observe are ignored — the sweep's own
+	// fields drive those. When Base.Trace is set, every run replays that
+	// fixed trace and seeds vary only the schemes' internal randomness.
+	Base Options
+
+	// Schemes lists the placement schemes to replicate; default is the
+	// paper's trio.
+	Schemes []string
+
+	// Seeds lists the replication seeds. Each (scheme, seed) pair is one
+	// run; the seed drives both workload generation and the scheme's
+	// internal randomness.
+	Seeds []int64
+
+	// Workers bounds the concurrent runs; <= 0 selects GOMAXPROCS. The
+	// merged report is identical for every worker count.
+	Workers int
+
+	// Observe, when set, is called once per run (before it starts) with
+	// the run's scheme and seed, returning that run's private
+	// observability sink or nil. Unlike Options.Observe it is keyed by
+	// both coordinates: replications of the same scheme run concurrently,
+	// so a per-scheme sink would be shared across live runs.
+	Observe func(scheme string, seed int64) *obs.Observer
+}
+
+// SweepRun is one replication's reduced result — the per-run scalars the
+// aggregates are computed from, small enough to keep R*S of them around.
+type SweepRun struct {
+	Scheme string
+	Seed   int64
+
+	WeekEnergyKWh   float64
+	TotalEnergyKWh  float64
+	MeanActivePMs   float64
+	PeakActivePMs   float64
+	Migrations      int
+	Boots           int
+	VMsCompleted    int
+	QueuedFraction  float64
+	MeanWaitSeconds float64
+}
+
+// Moments summarizes one metric across a scheme's replications.
+type Moments struct {
+	Mean, StdDev, Min, Max float64
+}
+
+// SweepAggregate is the cross-replication summary for one scheme.
+type SweepAggregate struct {
+	Scheme string
+	Runs   int
+
+	WeekEnergyKWh   Moments
+	MeanActivePMs   Moments
+	Migrations      Moments
+	QueuedFraction  Moments
+	MeanWaitSeconds Moments
+}
+
+// SweepReport is the deterministic merge of a sweep: every run in
+// (scheme, seed) order plus per-scheme aggregates. It deliberately
+// records nothing about how the sweep executed (worker count, timing), so
+// its JSON encoding is byte-identical across worker counts.
+type SweepReport struct {
+	Schemes    []string
+	Seeds      []int64
+	Runs       []SweepRun
+	Aggregates []SweepAggregate
+}
+
+// sweepQueue is one worker's task share. pos is bumped with a fetch-add
+// on every take — by the owner or a thief — so each task is handed out
+// exactly once. The padding keeps neighboring queues' cursors off one
+// cache line (the cursors are the only cross-worker write traffic).
+type sweepQueue struct {
+	pos   atomic.Int64
+	tasks []int32
+	_     [32]byte
+}
+
+// take claims the queue's next task, returning ok=false once drained.
+func (q *sweepQueue) take() (int32, bool) {
+	i := q.pos.Add(1) - 1
+	if int(i) >= len(q.tasks) {
+		return 0, false
+	}
+	return q.tasks[i], true
+}
+
+// traceCell lazily materializes one seed's workload, once, no matter
+// which worker asks first.
+type traceCell struct {
+	once sync.Once
+	reqs []workload.Request
+}
+
+// RunSweep executes the full (scheme, seed) cross product and returns the
+// deterministic merged report. On failure it returns a joined error
+// naming every failed (scheme, seed) pair — completed runs are not
+// discarded silently, and one bad pair does not mask the others.
+func RunSweep(opts SweepOptions) (*SweepReport, error) {
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = DefaultOptions(0).Schemes
+	}
+	if len(opts.Seeds) == 0 {
+		return nil, fmt.Errorf("exp: sweep needs at least one seed")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nTasks := len(opts.Schemes) * len(opts.Seeds)
+	if workers > nTasks {
+		workers = nTasks
+	}
+
+	gen := opts.Base.TraceGen
+	if gen == nil {
+		gen = func(seed int64) []workload.Request {
+			_, reqs := WeekTrace(seed)
+			return reqs
+		}
+	}
+	traces := make([]traceCell, len(opts.Seeds))
+	trace := func(vi int) []workload.Request {
+		if opts.Base.Trace != nil {
+			return opts.Base.Trace
+		}
+		c := &traces[vi]
+		c.once.Do(func() { c.reqs = gen(opts.Seeds[vi]) })
+		return c.reqs
+	}
+
+	// Interleaved initial shares: worker w owns tasks w, w+W, w+2W, ...
+	queues := make([]sweepQueue, workers)
+	for w := range queues {
+		share := make([]int32, 0, nTasks/workers+1)
+		for t := w; t < nTasks; t += workers {
+			share = append(share, int32(t))
+		}
+		queues[w].tasks = share
+	}
+
+	runs := make([]SweepRun, nTasks)
+	errs := make([]error, nTasks)
+	runTask := func(t int) {
+		si, vi := t/len(opts.Seeds), t%len(opts.Seeds)
+		scheme, seed := opts.Schemes[si], opts.Seeds[vi]
+		ro := opts.Base
+		ro.Seed = seed
+		ro.Trace = nil
+		ro.TraceGen = nil
+		ro.Observe = nil
+		if opts.Observe != nil {
+			ro.Observe = func(name string) *obs.Observer { return opts.Observe(name, seed) }
+		}
+		run, err := RunScheme(scheme, trace(vi), ro)
+		if err != nil {
+			errs[t] = fmt.Errorf("exp: sweep (scheme %s, seed %d): %w", scheme, seed, err)
+			return
+		}
+		// Reduce on the worker: the full Result becomes garbage before
+		// the next task starts, bounding live state to the worker count.
+		s := run.Summary
+		runs[t] = SweepRun{
+			Scheme:          scheme,
+			Seed:            seed,
+			WeekEnergyKWh:   run.WeekEnergyKWh,
+			TotalEnergyKWh:  s.TotalEnergyKWh,
+			MeanActivePMs:   s.MeanActivePMs,
+			PeakActivePMs:   s.PeakActivePMs,
+			Migrations:      s.Migrations,
+			Boots:           s.Boots,
+			VMsCompleted:    s.VMsCompleted,
+			QueuedFraction:  s.QueuedFraction,
+			MeanWaitSeconds: s.MeanWaitSeconds,
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			// Drain the own queue first, then steal round-robin. Takes
+			// are monotone, so a drained queue stays drained and one
+			// pass over the queues visits every remaining task.
+			for hop := 0; hop < workers; hop++ {
+				q := &queues[(self+hop)%workers]
+				for {
+					t, ok := q.take()
+					if !ok {
+						break
+					}
+					runTask(int(t))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	report := &SweepReport{
+		Schemes: append([]string(nil), opts.Schemes...),
+		Seeds:   append([]int64(nil), opts.Seeds...),
+		Runs:    runs,
+	}
+	for si, scheme := range opts.Schemes {
+		block := runs[si*len(opts.Seeds) : (si+1)*len(opts.Seeds)]
+		report.Aggregates = append(report.Aggregates, aggregate(scheme, block))
+	}
+	return report, nil
+}
+
+// aggregate folds one scheme's replications into cross-seed moments. The
+// fold order is the fixed seed order, so the float sums — and therefore
+// the report bytes — do not depend on completion order.
+func aggregate(scheme string, block []SweepRun) SweepAggregate {
+	n := len(block)
+	week := make([]float64, n)
+	active := make([]float64, n)
+	migs := make([]float64, n)
+	queued := make([]float64, n)
+	wait := make([]float64, n)
+	for i, r := range block {
+		week[i] = r.WeekEnergyKWh
+		active[i] = r.MeanActivePMs
+		migs[i] = float64(r.Migrations)
+		queued[i] = r.QueuedFraction
+		wait[i] = r.MeanWaitSeconds
+	}
+	return SweepAggregate{
+		Scheme:          scheme,
+		Runs:            n,
+		WeekEnergyKWh:   moments(week),
+		MeanActivePMs:   moments(active),
+		Migrations:      moments(migs),
+		QueuedFraction:  moments(queued),
+		MeanWaitSeconds: moments(wait),
+	}
+}
+
+func moments(xs []float64) Moments {
+	m := Moments{Mean: stats.Mean(xs), StdDev: stats.StdDev(xs)}
+	if len(xs) == 0 {
+		return m
+	}
+	m.Min, m.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	return m
+}

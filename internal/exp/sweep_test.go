@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// sweepTrace derives a seed-dependent variant of the small test workload,
+// so sweep replications genuinely differ per seed (runtimes and spacing
+// shift with the seed) while staying fast and deterministic.
+func sweepTrace(seed int64) []workload.Request {
+	base := smallTrace()
+	for i := range base {
+		base[i].Submit += float64(seed%7) * 13
+		if (int64(i)+seed)%4 == 0 {
+			base[i].RunTime *= 1.5
+			base[i].EstimatedRunTime *= 1.5
+		}
+	}
+	return base
+}
+
+func smallSweepOptions() SweepOptions {
+	return SweepOptions{
+		Base: Options{
+			SpareForDynamic: true,
+			Fleet:           smallFleet,
+			TraceGen:        sweepTrace,
+		},
+		Schemes: []string{"first-fit", "random", "dynamic"},
+		Seeds:   []int64{1, 2, 3, 4, 5},
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the merge contract: the same
+// sweep at 1, 2, and 7 workers must serialize to byte-identical reports —
+// scheduling and completion order must leave no trace in the output.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 7} {
+		opts := smallSweepOptions()
+		opts.Workers = workers
+		report, err := RunSweep(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d report differs from workers=1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestSweepMatchesSequentialRuns checks each cell of the cross product
+// against a direct RunScheme call with the same seed and trace: the sweep
+// machinery must add scheduling, not change results.
+func TestSweepMatchesSequentialRuns(t *testing.T) {
+	opts := smallSweepOptions()
+	opts.Workers = 3
+	report, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != len(opts.Schemes)*len(opts.Seeds) {
+		t.Fatalf("got %d runs, want %d", len(report.Runs), len(opts.Schemes)*len(opts.Seeds))
+	}
+	for i, run := range report.Runs {
+		si, vi := i/len(opts.Seeds), i%len(opts.Seeds)
+		if run.Scheme != opts.Schemes[si] || run.Seed != opts.Seeds[vi] {
+			t.Fatalf("run %d is (%s, %d), want (%s, %d)",
+				i, run.Scheme, run.Seed, opts.Schemes[si], opts.Seeds[vi])
+		}
+		ro := opts.Base
+		ro.Seed = run.Seed
+		ro.TraceGen = nil
+		direct, err := RunScheme(run.Scheme, sweepTrace(run.Seed), ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.WeekEnergyKWh != direct.WeekEnergyKWh {
+			t.Errorf("(%s, %d): sweep energy %g != direct %g",
+				run.Scheme, run.Seed, run.WeekEnergyKWh, direct.WeekEnergyKWh)
+		}
+		if run.Migrations != direct.Summary.Migrations {
+			t.Errorf("(%s, %d): sweep migrations %d != direct %d",
+				run.Scheme, run.Seed, run.Migrations, direct.Summary.Migrations)
+		}
+	}
+	if len(report.Aggregates) != len(opts.Schemes) {
+		t.Fatalf("got %d aggregates, want %d", len(report.Aggregates), len(opts.Schemes))
+	}
+	for _, agg := range report.Aggregates {
+		if agg.Runs != len(opts.Seeds) {
+			t.Errorf("%s aggregate covers %d runs, want %d", agg.Scheme, agg.Runs, len(opts.Seeds))
+		}
+		if agg.WeekEnergyKWh.Min > agg.WeekEnergyKWh.Mean || agg.WeekEnergyKWh.Mean > agg.WeekEnergyKWh.Max {
+			t.Errorf("%s energy moments inconsistent: %+v", agg.Scheme, agg.WeekEnergyKWh)
+		}
+	}
+}
+
+// TestSweepErrorsListEveryFailure pins the error contract: every failed
+// (scheme, seed) pair appears in the joined error, not just the first.
+func TestSweepErrorsListEveryFailure(t *testing.T) {
+	opts := smallSweepOptions()
+	opts.Schemes = []string{"first-fit", "no-such-scheme"}
+	opts.Seeds = []int64{1, 2, 3}
+	opts.Workers = 2
+	_, err := RunSweep(opts)
+	if err == nil {
+		t.Fatal("sweep with a bogus scheme succeeded")
+	}
+	for _, seed := range opts.Seeds {
+		want := fmt.Sprintf("(scheme no-such-scheme, seed %d)", seed)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %s:\n%v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "scheme first-fit") {
+		t.Errorf("error blames the healthy scheme:\n%v", err)
+	}
+}
+
+// TestSweepObserverPerRunIsolation proves the sweep hands every
+// (scheme, seed) run its own observer — replications of one scheme run
+// concurrently, so scheme-keyed sharing would pool their counters.
+func TestSweepObserverPerRunIsolation(t *testing.T) {
+	opts := smallSweepOptions()
+	opts.Workers = 4
+	var mu sync.Mutex
+	handed := map[string]*obs.Observer{}
+	opts.Observe = func(scheme string, seed int64) *obs.Observer {
+		o := obs.New()
+		mu.Lock()
+		defer mu.Unlock()
+		key := fmt.Sprintf("%s@%d", scheme, seed)
+		if _, dup := handed[key]; dup {
+			t.Errorf("Observe called twice for %s", key)
+		}
+		handed[key] = o
+		return o
+	}
+	if _, err := RunSweep(opts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if want := len(opts.Schemes) * len(opts.Seeds); len(handed) != want {
+		t.Fatalf("Observe called for %d runs, want %d", len(handed), want)
+	}
+	seen := map[*obs.Observer]string{}
+	for key, o := range handed {
+		if prev, dup := seen[o]; dup {
+			t.Fatalf("runs %s and %s share an observer", prev, key)
+		}
+		seen[o] = key
+	}
+}
+
+// BenchmarkSweep measures replication throughput (runs/sec) at several
+// worker counts over a small but non-trivial configuration.
+// cmd/benchreport runs the same sweep programmatically for
+// BENCH_sweep.json.
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := smallSweepOptions()
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSweep(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runs := len(opts.Schemes) * len(opts.Seeds)
+			b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}

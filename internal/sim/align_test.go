@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAlignedBuckets pins the calendar-queue layout contract: bucket
+// headers are 16 bytes, and alignedBuckets places the ring base on a
+// cache-line boundary (whenever the runtime's allocation base permits the
+// offset) so the extraction scan reads whole lines of four headers.
+func TestAlignedBuckets(t *testing.T) {
+	if got := unsafe.Sizeof(bucket{}); got != 16 {
+		t.Fatalf("bucket header is %d bytes, want 16", got)
+	}
+	for _, n := range []int{minBuckets, 64, 1024} {
+		for trial := 0; trial < 8; trial++ {
+			b := alignedBuckets(n)
+			if len(b) != n {
+				t.Fatalf("alignedBuckets(%d) has length %d", n, len(b))
+			}
+			addr := uintptr(unsafe.Pointer(&b[0]))
+			if addr%unsafe.Sizeof(bucket{}) == 0 && addr%64 != 0 {
+				t.Fatalf("alignedBuckets(%d) base %#x: bucket-aligned but not line-aligned", n, addr)
+			}
+		}
+	}
+}
+
+// TestEngineBucketsAlignedAfterResize drives the queue through growth and
+// shrink resizes and checks the live ring stays aligned.
+func TestEngineBucketsAlignedAfterResize(t *testing.T) {
+	var e Engine
+	noop := func() {}
+	var hs []Event
+	for i := 0; i < 10_000; i++ {
+		hs = append(hs, e.Schedule(float64(i%97), noop))
+	}
+	if len(e.buckets) <= minBuckets {
+		t.Fatalf("queue did not grow: %d buckets", len(e.buckets))
+	}
+	addr := uintptr(unsafe.Pointer(&e.buckets[0]))
+	if addr%unsafe.Sizeof(bucket{}) == 0 && addr%64 != 0 {
+		t.Fatalf("grown ring base %#x not line-aligned", addr)
+	}
+	for _, h := range hs[:9_900] {
+		h.Cancel()
+	}
+	addr = uintptr(unsafe.Pointer(&e.buckets[0]))
+	if addr%unsafe.Sizeof(bucket{}) == 0 && addr%64 != 0 {
+		t.Fatalf("shrunk ring base %#x not line-aligned", addr)
+	}
+	if err := e.VerifyQueue(); err != nil {
+		t.Fatal(err)
+	}
+}

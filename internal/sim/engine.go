@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Calendar-queue geometry. Bucket counts are powers of two so the
@@ -105,6 +106,30 @@ func (ev Event) Cancel() bool {
 // (at, seq).
 type bucket struct {
 	head, tail *record
+}
+
+// bucketsPerLine is how many 16-byte bucket headers fit one cache line.
+const bucketsPerLine = 64 / int(unsafe.Sizeof(bucket{}))
+
+// alignedBuckets returns a length-n bucket slice whose base sits on a
+// 64-byte boundary, so the extraction search — which walks consecutive
+// bucket heads until one qualifies — reads exactly four headers per cache
+// line with no line straddled. The over-allocation is bucketsPerLine-1
+// headers (48 bytes); if the runtime ever hands back a base that is not
+// bucket-aligned (so the offset cannot land exactly on a line boundary),
+// the slice is used as allocated — alignment here is an optimization, not
+// a correctness requirement.
+func alignedBuckets(n int) []bucket {
+	raw := make([]bucket, n+bucketsPerLine-1)
+	rem := uintptr(unsafe.Pointer(&raw[0])) % 64
+	if rem == 0 {
+		return raw[:n:n]
+	}
+	if rem%unsafe.Sizeof(bucket{}) != 0 {
+		return raw[:n:n]
+	}
+	off := int((64 - rem) / unsafe.Sizeof(bucket{}))
+	return raw[off : off+n : off+n]
 }
 
 // Engine is the event loop. The zero value is ready to use at time 0; an
@@ -241,7 +266,7 @@ func (e *Engine) RunUntil(t float64) {
 // --- calendar queue internals ---
 
 func (e *Engine) initQueue() {
-	e.buckets = make([]bucket, minBuckets)
+	e.buckets = alignedBuckets(minBuckets)
 	e.mask = minBuckets - 1
 	e.width = 1
 	e.cur = e.gFor(e.now)
@@ -442,7 +467,7 @@ func (e *Engine) resize(n int) {
 		e.buckets[i] = bucket{}
 	}
 	if n != len(e.buckets) {
-		e.buckets = make([]bucket, n)
+		e.buckets = alignedBuckets(n)
 		e.mask = n - 1
 	}
 	w := e.widthHint(minAt, maxAt)
