@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit resume-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
+.PHONY: test check vet race audit resume-audit sparse-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
 
 test:
 	$(GO) test ./...
@@ -20,6 +20,16 @@ race:
 ## against a cold matrix rebuild. Exits non-zero on the first violation.
 audit:
 	$(GO) run ./cmd/dvmpsim -audit=event -spare
+
+## sparse-audit: the candidate-set differential gate — the same full-trace
+## audit with the sparse engine driving placement, which adds the
+## sparse-vs-dense check (every sparse Apply replayed against a dense
+## matrix, trackers compared bit-for-bit), then the mirrored differential
+## sweep in internal/audit (dense and sparse engines fed identical
+## randomized operation streams across multiple seeds).
+sparse-audit:
+	$(GO) run ./cmd/dvmpsim -audit=event -spare -sparse 64
+	$(GO) test ./internal/audit -run 'Sparse' -count=1 -v
 
 ## resume-audit: the crash-safety gate — run the seed workload under the
 ## dynamic scheme three times: uninterrupted, checkpointed-and-killed at
@@ -59,10 +69,10 @@ bench-smoke:
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
 ## (covers the lock-free metrics hot path and the parallel experiment
-## harness), the full-trace audit run, the checkpoint/resume crash-safety
-## gate, a fuzz smoke test, and a one-iteration pass over the kernel
-## benchmarks.
-check: vet race audit resume-audit fuzz-smoke bench-smoke
+## harness), the full-trace audit run, the sparse-vs-dense differential
+## gate, the checkpoint/resume crash-safety gate, a fuzz smoke test, and
+## a one-iteration pass over the kernel benchmarks.
+check: vet race audit sparse-audit resume-audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with
@@ -80,11 +90,14 @@ bench-paper:
 ## implementation on build / round / arrival at 100 and 1000 PMs, plus the
 ## slab-vs-scalar row-fill ratio), BENCH_engine.json (calendar-queue
 ## scheduler vs the frozen binary heap at 10k / 100k / 1M dispatched
-## events), and BENCH_sweep.json (replication-sweep runs/sec at 1/2/4/8
-## workers, merged reports asserted byte-identical across worker counts).
+## events), BENCH_sweep.json (replication-sweep runs/sec at 1/2/4/8
+## workers, merged reports asserted byte-identical across worker counts),
+## and BENCH_scale.json (dense vs sparse candidate-set placement on
+## build / round / arrival at 100 / 1k / 10k PMs, equivalence-gated).
 bench-json:
 	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json \
-		-engine-o BENCH_engine.json -sweep-o BENCH_sweep.json
+		-engine-o BENCH_engine.json -sweep-o BENCH_sweep.json \
+		-scale-o BENCH_scale.json
 
 ## bench-diff: re-measure both suites into a temp directory and compare
 ## against the committed BENCH_*.json, warning on any per-operation timing
@@ -94,10 +107,11 @@ bench-diff:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/benchreport -sizes 100,1000 \
 		-o $$tmp/BENCH_core.json -engine-o $$tmp/BENCH_engine.json \
-		-sweep-o $$tmp/BENCH_sweep.json && \
+		-sweep-o $$tmp/BENCH_sweep.json -scale-o $$tmp/BENCH_scale.json && \
 	$(GO) run ./cmd/benchreport -diff BENCH_core.json $$tmp/BENCH_core.json && \
 	$(GO) run ./cmd/benchreport -diff BENCH_engine.json $$tmp/BENCH_engine.json && \
 	$(GO) run ./cmd/benchreport -diff BENCH_sweep.json $$tmp/BENCH_sweep.json && \
+	$(GO) run ./cmd/benchreport -diff BENCH_scale.json $$tmp/BENCH_scale.json && \
 	rm -rf $$tmp
 
 ## profile: capture CPU and heap profiles from the seed workload under the

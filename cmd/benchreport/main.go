@@ -14,6 +14,11 @@
 //     configuration, with the host's CPU count recorded (scaling is bound
 //     by available cores) and the merged reports asserted byte-identical
 //     across worker counts.
+//   - BENCH_scale.json — the sparse candidate-set engine
+//     (MatrixOptions.CandidateK) against the dense kernel on the same
+//     three hot operations at 100/1k/10k PMs. Decisions are asserted
+//     identical (SparseMatrix.DiffDense, same arrival PM) before any
+//     timing; the numbers quantify cost only, never behavior.
 //
 // BENCH_core.json additionally records, per scale, the slab-vs-scalar row
 // fill ratio: the batched aligned-slab kernel path against the same kernel
@@ -27,10 +32,11 @@
 //
 // Usage:
 //
-//	benchreport [-suite all|core|engine|sweep] [-o BENCH_core.json]
+//	benchreport [-suite all|core|engine|sweep|scale] [-o BENCH_core.json]
 //	            [-engine-o BENCH_engine.json] [-sweep-o BENCH_sweep.json]
-//	            [-sizes 100,1000] [-events 10000,100000,1000000]
-//	            [-sweep-workers 1,2,4,8] [-benchtime 300ms]
+//	            [-scale-o BENCH_scale.json] [-sizes 100,1000]
+//	            [-events 10000,100000,1000000] [-sweep-workers 1,2,4,8]
+//	            [-scale-sizes 100,1000,10000] [-scale-k 64] [-benchtime 300ms]
 //	benchreport -diff old.json new.json [-threshold 0.2]
 package main
 
@@ -132,22 +138,28 @@ func run(args []string, out io.Writer) error {
 	}
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		suite       = fs.String("suite", "all", "which suite to run: all, core, engine, or sweep")
+		suite       = fs.String("suite", "all", "which suite to run: all, core, engine, sweep, or scale")
 		outPath     = fs.String("o", "BENCH_core.json", "core output JSON path (- for stdout)")
 		enginePath  = fs.String("engine-o", "BENCH_engine.json", "engine output JSON path (- for stdout)")
 		sweepPath   = fs.String("sweep-o", "BENCH_sweep.json", "sweep output JSON path (- for stdout)")
+		scalePath   = fs.String("scale-o", "BENCH_scale.json", "scale output JSON path (- for stdout)")
 		sizesFlag   = fs.String("sizes", "100,1000", "comma-separated PM counts (VMs = 2x)")
 		eventsFlag  = fs.String("events", "10000,100000,1000000", "comma-separated total event counts")
 		workersFlag = fs.String("sweep-workers", "1,2,4,8", "comma-separated sweep worker counts")
+		scaleSizes  = fs.String("scale-sizes", "100,1000,10000", "comma-separated PM counts for the scale suite (VMs = 2x)")
+		scaleK      = fs.Int("scale-k", 64, "candidate budget K for the scale suite's sparse side")
 		benchtime   = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *suite {
-	case "all", "core", "engine", "sweep":
+	case "all", "core", "engine", "sweep", "scale":
 	default:
-		return fmt.Errorf("bad -suite %q (want all, core, engine, or sweep)", *suite)
+		return fmt.Errorf("bad -suite %q (want all, core, engine, sweep, or scale)", *suite)
+	}
+	if *scaleK < 1 {
+		return fmt.Errorf("-scale-k must be positive (got %d)", *scaleK)
 	}
 	if *suite == "all" || *suite == "core" {
 		if err := runCore(out, *outPath, *sizesFlag, *benchtime); err != nil {
@@ -161,6 +173,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *suite == "all" || *suite == "sweep" {
 		if err := runSweepSuite(out, *sweepPath, *workersFlag, *benchtime); err != nil {
+			return err
+		}
+	}
+	if *suite == "all" || *suite == "scale" {
+		if err := runScaleSuite(out, *scalePath, *scaleSizes, *scaleK, *benchtime); err != nil {
 			return err
 		}
 	}
@@ -347,6 +364,233 @@ func runSweepSuite(out io.Writer, outPath, workersFlag string, benchtime time.Du
 			w, sc.RunsPerSec, sc.RunNsOp/1e6, sc.SweepNsOp/1e9, sc.Speedup, rep.CPUs)
 	}
 	return writeJSON(out, outPath, rep)
+}
+
+// ScaleReport is the schema of BENCH_scale.json. The sparse engine's
+// contract is bit-identical decisions, so unlike the other suites both
+// sides are current code: the report answers "what does candidate-set
+// placement buy at fleet scale M", not "did behavior change".
+type ScaleReport struct {
+	Description string       `json:"description"`
+	Go          string       `json:"go"`
+	Generated   string       `json:"generated"`
+	Benchtime   string       `json:"benchtime"`
+	K           int          `json:"k"`
+	Scales      []ScalePoint `json:"scales"`
+}
+
+// ScalePoint holds one fleet size's dense-vs-sparse measurements.
+type ScalePoint struct {
+	PMs     int          `json:"pms"`
+	VMs     int          `json:"vms"`
+	Build   ScaleMeasure `json:"build"`
+	Round   ScaleMeasure `json:"round"`
+	Arrival ScaleMeasure `json:"arrival"`
+}
+
+// ScaleMeasure compares the two engines on one operation. The timing keys
+// end in _ns_op so `benchreport -diff` folds them into its regression
+// check alongside the other suites' metrics.
+type ScaleMeasure struct {
+	DenseNsOp   float64 `json:"dense_ns_op"`
+	SparseNsOp  float64 `json:"sparse_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	DenseIters  int     `json:"dense_iters"`
+	SparseIters int     `json:"sparse_iters"`
+}
+
+func newScaleMeasure(d, s sample) ScaleMeasure {
+	m := ScaleMeasure{
+		DenseNsOp: d.nsPerOp, SparseNsOp: s.nsPerOp,
+		DenseIters: d.iters, SparseIters: s.iters,
+	}
+	if s.nsPerOp > 0 {
+		m.Speedup = d.nsPerOp / s.nsPerOp
+	}
+	return m
+}
+
+func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, benchtime time.Duration) error {
+	sizes, err := parseSizes(sizesFlag)
+	if err != nil {
+		return err
+	}
+	rep := ScaleReport{
+		Description: "sparse candidate-set engine (MatrixOptions.CandidateK) vs dense kernel: " +
+			"matrix build, per-round incremental update (one Apply), arrival placement; " +
+			"decisions asserted identical before timing",
+		Go:        runtime.Version(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: benchtime.String(),
+		K:         k,
+	}
+	for _, pms := range sizes {
+		sc, err := measureScalePoint(out, pms, 2*pms, k, benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Scales = append(rep.Scales, sc)
+	}
+	return writeJSON(out, outPath, rep)
+}
+
+func measureScalePoint(out io.Writer, pms, nVMs, k int, benchtime time.Duration) (ScalePoint, error) {
+	factors := core.DefaultFactors()
+	sparseOpts := core.MatrixOptions{CandidateK: k}
+	const seed = 7
+	sc := ScalePoint{PMs: pms}
+
+	// Equivalence gate before any timing: every tracker, probability, and
+	// the argmax must agree cell-for-cell on the bench state.
+	ctx, vms := benchState(pms, nVMs, seed)
+	sc.VMs = len(vms)
+	{
+		dm, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return sc, err
+		}
+		sm, err := core.NewSparseMatrix(ctx, factors, vms, sparseOpts)
+		if err != nil {
+			dm.Release()
+			return sc, err
+		}
+		err = sm.DiffDense(dm)
+		dm.Release()
+		if err != nil {
+			return sc, fmt.Errorf("pms=%d: sparse/dense divergence: %w", pms, err)
+		}
+	}
+
+	// Build: construct each engine's state from scratch. The sparse side
+	// reuses the context's candidate index across iterations (an O(M)
+	// staleness sweep each build), which is exactly how consolidation
+	// rounds amortize it in a real run.
+	d, err := measure(benchtime, func() error {
+		m, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return err
+		}
+		m.Best()
+		m.Release()
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	s, err := measure(benchtime, func() error {
+		m, err := core.NewSparseMatrix(ctx, factors, vms, sparseOpts)
+		if err != nil {
+			return err
+		}
+		m.Best()
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	sc.Build = newScaleMeasure(d, s)
+
+	// Round: the incremental work of one Algorithm 1 round — the argmax
+	// lookup plus the Apply repair — ping-ponging the best move so the
+	// state stays bounded (mirroring the core suite). Best is charged to
+	// both sides: the dense engine pays a heap repair inside Apply and an
+	// O(1) root read, the sparse engine pays no heap and a linear argmax.
+	{
+		ctx, vms := benchState(pms, nVMs, seed)
+		dm, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{})
+		if err != nil {
+			return sc, err
+		}
+		r, c, _, ok := dm.Best()
+		if !ok {
+			return sc, fmt.Errorf("pms=%d: no positive-gain move in the bench state", pms)
+		}
+		origin, _ := dm.RowOf(dm.VM(c).Host)
+		d, err = measure(benchtime, func() error {
+			dm.Best()
+			if err := dm.Apply(r, c); err != nil {
+				return err
+			}
+			dm.Best()
+			return dm.Apply(origin, c)
+		})
+		if err != nil {
+			return sc, err
+		}
+		dm.Release()
+	}
+	{
+		ctx, vms := benchState(pms, nVMs, seed)
+		sm, err := core.NewSparseMatrix(ctx, factors, vms, sparseOpts)
+		if err != nil {
+			return sc, err
+		}
+		r, c, _, ok := sm.Best()
+		if !ok {
+			return sc, fmt.Errorf("pms=%d: no positive-gain move in the sparse bench state", pms)
+		}
+		host := sm.VM(c).Host
+		origin := -1
+		for i := 0; i < sm.Rows(); i++ {
+			if sm.PM(i).ID == host {
+				origin = i
+				break
+			}
+		}
+		if origin < 0 {
+			return sc, fmt.Errorf("pms=%d: host of best column not in the sparse matrix", pms)
+		}
+		s, err = measure(benchtime, func() error {
+			sm.Best()
+			if err := sm.Apply(r, c); err != nil {
+				return err
+			}
+			sm.Best()
+			return sm.Apply(origin, c)
+		})
+		if err != nil {
+			return sc, err
+		}
+	}
+	// Halve: one measured op is two Applies (there and back).
+	sc.Round = newScaleMeasure(halve(d), halve(s))
+
+	// Arrival: place one new VM, full dense ranking vs the shortlist walk.
+	{
+		ctx, _ := benchState(pms, nVMs, seed)
+		arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+		dPM := core.BestPlacement(ctx, factors, arrival)
+		sPM := core.BestPlacementWith(ctx, factors, arrival, sparseOpts)
+		if dPM == nil || dPM != sPM {
+			return sc, fmt.Errorf("pms=%d: sparse arrival PM differs from dense (equivalence violated)", pms)
+		}
+		d, err = measure(benchtime, func() error {
+			if core.BestPlacement(ctx, factors, arrival) == nil {
+				return fmt.Errorf("no placement found")
+			}
+			return nil
+		})
+		if err != nil {
+			return sc, err
+		}
+		s, err = measure(benchtime, func() error {
+			if core.BestPlacementWith(ctx, factors, arrival, sparseOpts) == nil {
+				return fmt.Errorf("no placement found")
+			}
+			return nil
+		})
+		if err != nil {
+			return sc, err
+		}
+	}
+	sc.Arrival = newScaleMeasure(d, s)
+
+	fmt.Fprintf(out, "pms=%-6d vms=%-6d k=%-3d build %.2fx (%.3fms vs %.3fms)  round %.2fx (%.1fus vs %.1fus)  arrival %.2fx (%.1fus vs %.1fus)\n",
+		sc.PMs, sc.VMs, k,
+		sc.Build.Speedup, sc.Build.DenseNsOp/1e6, sc.Build.SparseNsOp/1e6,
+		sc.Round.Speedup, sc.Round.DenseNsOp/1e3, sc.Round.SparseNsOp/1e3,
+		sc.Arrival.Speedup, sc.Arrival.DenseNsOp/1e3, sc.Arrival.SparseNsOp/1e3)
+	return sc, nil
 }
 
 // parseWorkers parses the -sweep-workers list; unlike parseSizes it

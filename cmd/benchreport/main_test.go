@@ -85,6 +85,79 @@ func TestRunEngineSuite(t *testing.T) {
 	}
 }
 
+// TestRunScaleSuite drives the dense-vs-sparse comparison at a tiny
+// scale, checks the schema and the built-in equivalence gates (DiffDense
+// and the arrival-PM assert error out on any divergence), then feeds the
+// report through -diff against itself to prove the BENCH_scale.json
+// schema is understood by the regression checker.
+func TestRunScaleSuite(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scale.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-suite", "scale", "-scale-sizes", "8,16", "-scale-k", "4", "-benchtime", "5ms", "-scale-o", out}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep ScaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if rep.K != 4 {
+		t.Errorf("report K = %d, want 4", rep.K)
+	}
+	if len(rep.Scales) != 2 {
+		t.Fatalf("got %d scales, want 2", len(rep.Scales))
+	}
+	for _, sc := range rep.Scales {
+		if sc.PMs <= 0 || sc.VMs <= 0 {
+			t.Errorf("scale %+v missing fleet sizes", sc)
+		}
+		for name, m := range map[string]ScaleMeasure{
+			"build": sc.Build, "round": sc.Round, "arrival": sc.Arrival,
+		} {
+			if m.DenseNsOp <= 0 || m.SparseNsOp <= 0 {
+				t.Errorf("pms=%d %s: non-positive timings %+v", sc.PMs, name, m)
+			}
+			if m.Speedup <= 0 {
+				t.Errorf("pms=%d %s: missing speedup %+v", sc.PMs, name, m)
+			}
+			if m.DenseIters <= 0 || m.SparseIters <= 0 {
+				t.Errorf("pms=%d %s: missing iteration counts %+v", sc.PMs, name, m)
+			}
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-diff", out, out}, &buf); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("within")) {
+		t.Fatalf("self-diff reported regressions:\n%s", buf.String())
+	}
+}
+
+// TestDiffReadsCommittedScaleReport pins the committed BENCH_scale.json
+// against the -diff loader: its dense_ns_op/sparse_ns_op keys must
+// flatten into pms-prefixed metrics or the bench-diff gate silently
+// stops covering the scale suite.
+func TestDiffReadsCommittedScaleReport(t *testing.T) {
+	m, err := loadMetrics(filepath.Join("..", "..", "BENCH_scale.json"))
+	if err != nil {
+		t.Fatalf("loadMetrics: %v", err)
+	}
+	for _, want := range []string{
+		"pms=10000/build/dense_ns_op",
+		"pms=10000/build/sparse_ns_op",
+		"pms=10000/round/sparse_ns_op",
+		"pms=100/arrival/sparse_ns_op",
+	} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("committed BENCH_scale.json missing metric %s", want)
+		}
+	}
+}
+
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes(" 100, 1000 ")
 	if err != nil {

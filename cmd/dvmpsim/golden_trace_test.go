@@ -20,14 +20,14 @@ func traceArgs(tracePath string) []string {
 	}
 }
 
-// canonicalTrace runs dvmpsim with -trace and returns the trace with
-// every line's wall-clock field stripped (obs.Canonicalize) — the
-// deterministic byte stream the golden file pins.
-func canonicalTrace(t *testing.T) []byte {
+// canonicalTrace runs dvmpsim with -trace (plus any extra flags) and
+// returns the trace with every line's wall-clock field stripped
+// (obs.Canonicalize) — the deterministic byte stream the golden file pins.
+func canonicalTrace(t *testing.T, extra ...string) []byte {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "run.jsonl")
 	var sb strings.Builder
-	if err := run(traceArgs(path), &sb); err != nil {
+	if err := run(append(traceArgs(path), extra...), &sb); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -74,6 +74,31 @@ func TestGoldenTrace(t *testing.T) {
 			}
 		}
 		t.Fatalf("trace drifted from golden: %d lines vs %d", len(gl), len(wl))
+	}
+}
+
+// TestGoldenTraceSparse replays the golden scenario through the sparse
+// candidate-set engine (-sparse). The engine's contract is bit-identical
+// decisions, so the canonical trace must byte-match the SAME golden file
+// the dense run pins — every placement, migration, boot, and spare plan
+// included. A single diverging decision anywhere in the 325-event stream
+// fails the byte compare.
+func TestGoldenTraceSparse(t *testing.T) {
+	got := canonicalTrace(t, "-sparse", "64")
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden (run TestGoldenTrace with -update first): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl := bytes.Split(got, []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		n := min(len(gl), len(wl))
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("sparse trace diverged from dense golden at line %d:\ngot:  %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("sparse trace diverged from dense golden: %d lines vs %d", len(gl), len(wl))
 	}
 }
 

@@ -5,9 +5,14 @@
 // Usage:
 //
 //	dvmpsim [-scheme dynamic] [-swf lpc.swf] [-seed 1] [-spare]
-//	        [-nodes 100] [-csv out.csv] [-v]
+//	        [-nodes 100] [-sparse K] [-csv out.csv] [-v]
 //	        [-trace run.jsonl] [-metrics run.metrics.json]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -sparse K routes the dynamic scheme's placement and consolidation
+// through the candidate-set engine with budget K (see README "Sparse
+// placement"); decisions — and therefore traces — are bit-identical to
+// the dense kernel, which TestGoldenTraceSparse pins.
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole run for `go tool pprof`; the placement hot path (matrix build
@@ -69,6 +74,7 @@ func run(args []string, out io.Writer) error {
 		tracePath = fs.String("trace", "", "write the structured JSONL run trace to this file")
 		metrPath  = fs.String("metrics", "", "write the run's metrics registry as JSON to this file")
 		seed      = fs.Int64("seed", 1, "workload / random-scheme seed")
+		sparseK   = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse placement engine (0 = dense)")
 		useSpare  = fs.Bool("spare", false, "enable the spare-server controller (Section IV)")
 		nodes     = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
 		jobCount  = fs.Int("jobs", 0, "truncate the workload to the first N jobs (0 = all)")
@@ -104,6 +110,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-stop-after must be >= 0 (got %d)", *stopAfter)
 	case (*ckptEvery > 0 || *stopAfter > 0) && *ckptPath == "":
 		return fmt.Errorf("-checkpoint-every and -stop-after need -checkpoint to say where the checkpoint goes")
+	case *sparseK < 0:
+		return fmt.Errorf("-sparse must be >= 0 (got %d)", *sparseK)
+	case *sparseK > 0 && *scheme != "dynamic":
+		return fmt.Errorf("-sparse applies to the dynamic scheme only (got -scheme %s)", *scheme)
 	}
 
 	if *cpuProf != "" {
@@ -135,6 +145,9 @@ func run(args []string, out io.Writer) error {
 	placer, err := policy.ByName(*scheme, *seed)
 	if err != nil {
 		return err
+	}
+	if d, ok := placer.(*policy.Dynamic); ok && *sparseK > 0 {
+		d.Opts.CandidateK = *sparseK
 	}
 
 	var jobs []workload.Job

@@ -98,6 +98,8 @@ func TestRunErrors(t *testing.T) {
 		{"stop-after without path", []string{"-stop-after", "100"}, "-checkpoint"},
 		{"resume missing file", []string{"-nodes", "4", "-jobs", "10", "-resume", "/nonexistent/ck.json"}, "no such file"},
 		{"resume non-checkpoint", []string{"-nodes", "4", "-jobs", "10", "-resume", garbage}, "magic"},
+		{"negative sparse", []string{"-scheme", "dynamic", "-sparse", "-8"}, "-sparse"},
+		{"sparse on static scheme", []string{"-scheme", "first-fit", "-sparse", "64"}, "dynamic"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,15 +9,18 @@
 // Usage:
 //
 //	sweep [-schemes first-fit,best-fit,dynamic] [-reps 8 | -seeds 1,4,9]
-//	      [-workers 0] [-nodes 100] [-jobs 0] [-spare] [-o report.json]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
+//	      [-workers N] [-nodes 100] [-jobs 0] [-spare] [-sparse K]
+//	      [-o report.json] [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
 //
 // Each seed generates its own synthetic week (the Figure 2 calibration),
 // shared read-only by every scheme replaying it; -jobs truncates each week
 // to its first N jobs for quick sweeps. -workers bounds the concurrent
-// runs (0 = GOMAXPROCS); the merged report — and therefore the -o JSON —
-// is byte-identical for every worker count, so a sweep's output can be
-// compared across machines regardless of their core counts.
+// runs (default GOMAXPROCS; must be positive); the merged report — and
+// therefore the -o JSON — is byte-identical for every worker count, so a
+// sweep's output can be compared across machines regardless of their core
+// counts. -sparse K routes the dynamic scheme through the candidate-set
+// placement engine with budget K (bit-identical decisions, see README
+// "Sparse placement"); 0 keeps the dense kernel.
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole sweep for `go tool pprof`, mirroring cmd/dvmpsim; with more
@@ -56,10 +59,11 @@ func run(args []string, out io.Writer) error {
 		schemesFlag = fs.String("schemes", "", "comma-separated schemes (default: the paper's trio)")
 		reps        = fs.Int("reps", 8, "number of replications; seeds are 1..reps")
 		seedsFlag   = fs.String("seeds", "", "explicit comma-separated seed list (overrides -reps)")
-		workers     = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs")
 		nodes       = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
 		jobCount    = fs.Int("jobs", 0, "truncate each seed's week to the first N jobs (0 = all)")
 		useSpare    = fs.Bool("spare", true, "attach the spare-server controller to the dynamic scheme")
+		sparseK     = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse engine (0 = dense)")
 		outPath     = fs.String("o", "", "write the merged report as JSON to this file (- for stdout)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf     = fs.String("memprofile", "", "write an end-of-sweep heap profile to this file")
@@ -69,16 +73,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	switch {
-	case *reps < 1 && *seedsFlag == "":
+	case *reps < 1:
 		return fmt.Errorf("-reps must be positive (got %d)", *reps)
 	case *nodes <= 0:
 		return fmt.Errorf("-nodes must be positive (got %d)", *nodes)
 	case *jobCount < 0:
 		return fmt.Errorf("-jobs must be >= 0 (got %d)", *jobCount)
-	case *workers < 0:
-		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	case *workers <= 0:
+		return fmt.Errorf("-workers must be positive (got %d)", *workers)
+	case *sparseK < 0:
+		return fmt.Errorf("-sparse must be >= 0 (got %d)", *sparseK)
 	}
-
+	schemes, err := parseSchemes(*schemesFlag)
+	if err != nil {
+		return err
+	}
 	seeds, err := parseSeeds(*seedsFlag, *reps)
 	if err != nil {
 		return err
@@ -113,15 +122,12 @@ func run(args []string, out io.Writer) error {
 	opts := exp.SweepOptions{
 		Base: exp.Options{
 			SpareForDynamic: *useSpare,
+			CandidateK:      *sparseK,
 			TraceGen:        traceGen(*jobCount),
 		},
+		Schemes: schemes,
 		Seeds:   seeds,
 		Workers: *workers,
-	}
-	if *schemesFlag != "" {
-		for _, s := range strings.Split(*schemesFlag, ",") {
-			opts.Schemes = append(opts.Schemes, strings.TrimSpace(s))
-		}
 	}
 	if *nodes != 100 {
 		n := *nodes
@@ -129,9 +135,6 @@ func run(args []string, out io.Writer) error {
 	}
 
 	effWorkers := *workers
-	if effWorkers <= 0 {
-		effWorkers = runtime.GOMAXPROCS(0)
-	}
 	start := time.Now()
 	report, err := exp.RunSweep(opts)
 	if err != nil {
@@ -190,6 +193,25 @@ func traceGen(n int) func(seed int64) []workload.Request {
 		}
 		return workload.ToRequests(jobs[:n])
 	}
+}
+
+// parseSchemes splits the -schemes list, rejecting empty entries: a stray
+// comma would otherwise reach policy.ByName as a nameless scheme and fail
+// deep inside the sweep with a confusing error — or worse, silently drop a
+// scheme the user thought they were comparing.
+func parseSchemes(list string) ([]string, error) {
+	if list == "" {
+		return nil, nil // exp.RunSweep substitutes the paper's trio
+	}
+	var schemes []string
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, fmt.Errorf("empty scheme entry in -schemes %q", list)
+		}
+		schemes = append(schemes, s)
+	}
+	return schemes, nil
 }
 
 // parseSeeds resolves the replication seeds: the explicit -seeds list when

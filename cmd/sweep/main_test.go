@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunErrors table-tests the CLI's rejection paths, mirroring
+// dvmpsim's discipline: every invalid flag combination must fail with a
+// non-nil one-line error naming the offending flag, before any simulation
+// work starts.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring the error must contain
+	}{
+		{"bad flag", []string{"-badflag"}, "flag"},
+		{"zero reps", []string{"-reps", "0"}, "-reps"},
+		{"negative reps", []string{"-reps", "-3"}, "-reps"},
+		{"negative reps with seeds", []string{"-reps", "-3", "-seeds", "1,2"}, "-reps"},
+		{"zero nodes", []string{"-nodes", "0"}, "-nodes"},
+		{"negative nodes", []string{"-nodes", "-100"}, "-nodes"},
+		{"negative jobs", []string{"-jobs", "-5"}, "-jobs"},
+		{"zero workers", []string{"-workers", "0"}, "-workers"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers"},
+		{"negative sparse", []string{"-sparse", "-16"}, "-sparse"},
+		{"empty scheme entry", []string{"-schemes", "dynamic,,first-fit"}, "empty scheme"},
+		{"only commas", []string{"-schemes", ","}, "empty scheme"},
+		{"trailing comma", []string{"-schemes", "dynamic,"}, "empty scheme"},
+		{"blank scheme entry", []string{"-schemes", "dynamic, ,first-fit"}, "empty scheme"},
+		{"bad seed entry", []string{"-seeds", "1,x,3"}, "seed"},
+		{"unknown scheme", []string{"-schemes", "nope", "-reps", "1", "-nodes", "8", "-jobs", "10"}, "scheme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(tc.args, &sb)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunSmallSweep exercises the happy path end to end on a tiny sweep.
+func TestRunSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-schemes", "first-fit", "-reps", "1", "-nodes", "8", "-jobs", "30", "-workers", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1 runs", "first-fit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSparseReportMatchesDense runs the same tiny dynamic sweep twice —
+// dense and with -sparse — and requires byte-identical report JSON: the
+// candidate-set engine must not change a single decision, so energy,
+// migration, and queueing aggregates all match exactly.
+func TestRunSparseReportMatchesDense(t *testing.T) {
+	dir := t.TempDir()
+	report := func(name string, extra ...string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		args := append([]string{
+			"-schemes", "dynamic", "-reps", "1", "-nodes", "8", "-jobs", "40",
+			"-workers", "1", "-o", path,
+		}, extra...)
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	dense := report("dense.json")
+	sparse := report("sparse.json", "-sparse", "64")
+	if !bytes.Equal(dense, sparse) {
+		t.Fatal("sparse sweep report differs from dense; the engines diverged")
+	}
+}

@@ -202,6 +202,75 @@ func TrackerCheck(ctx *core.Context, factors []core.Factor) Check {
 	}
 }
 
+// SparseCheck is the sparse-vs-dense differential oracle behind
+// MatrixOptions.CandidateK: it builds the candidate-set engine and a dense
+// kernel matrix over the currently migratable VMs and requires every
+// tracker and the Best decision bit-identical (core.SparseMatrix.DiffDense),
+// plus internal consistency of the incremental candidate index
+// (SelfCheck). It also replays the arrival ranking for a sample of hosted
+// VMs: the candidate shortlist must be the exact prefix of the dense
+// ranking. O(M*N) dense evaluations per run, so it is a per-period check
+// even in event mode; the per-Apply SelfAudit covers the event
+// granularity.
+func SparseCheck(ctx *core.Context, factors []core.Factor, k int) Check {
+	return Check{
+		Name:     "sparse",
+		PerEvent: false,
+		Fn: func(now float64) error {
+			ctx := ctx.At(now)
+			vms := core.MigratableVMs(ctx.DC)
+			if len(vms) == 0 {
+				return nil
+			}
+			sm, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k})
+			if err != nil {
+				return fmt.Errorf("sparse matrix build: %w", err)
+			}
+			if err := sm.SelfCheck(); err != nil {
+				return fmt.Errorf("sparse matrix self-check: %w", err)
+			}
+			dense, err := core.NewMatrix(ctx, factors, vms)
+			if err != nil {
+				return fmt.Errorf("dense matrix build: %w", err)
+			}
+			defer dense.Release()
+			if err := sm.DiffDense(dense); err != nil {
+				return fmt.Errorf("sparse vs dense matrix: %w", err)
+			}
+			stride := len(vms)/8 + 1
+			for i := 0; i < len(vms); i += stride {
+				if err := diffShortlist(ctx, factors, vms[i], k); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// diffShortlist compares the candidate index's top-k arrival shortlist for
+// vm against the dense ranking's length-k prefix, entry by entry.
+func diffShortlist(ctx *core.Context, factors []core.Factor, vm *cluster.VM, k int) error {
+	sparse, ok := core.ArrivalShortlist(ctx, factors, vm, k)
+	if !ok {
+		return fmt.Errorf("arrival shortlist unavailable for the configured factors")
+	}
+	dense := core.RankPlacements(ctx, factors, vm)
+	if k > 0 && len(dense) > k {
+		dense = dense[:k]
+	}
+	if len(sparse) != len(dense) {
+		return fmt.Errorf("VM %d: sparse shortlist has %d entries, dense prefix %d", vm.ID, len(sparse), len(dense))
+	}
+	for i := range sparse {
+		if sparse[i].PM != dense[i].PM || sparse[i].Probability != dense[i].Probability {
+			return fmt.Errorf("VM %d shortlist entry %d: sparse (PM %d, %v) != dense (PM %d, %v)",
+				vm.ID, i, sparse[i].PM.ID, sparse[i].Probability, dense[i].PM.ID, dense[i].Probability)
+		}
+	}
+	return nil
+}
+
 func eqf(a, b float64) bool {
 	return a == b || (math.IsNaN(a) && math.IsNaN(b))
 }

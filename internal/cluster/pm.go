@@ -144,6 +144,14 @@ type PM struct {
 	// timed-migration model's source-side double occupancy).
 	reserved vector.V
 
+	// ver counts mutations of Used (Host/Evict/Reserve/Release). Caches
+	// keyed on a PM's occupancy — the sparse candidate index in
+	// internal/core — compare it against a remembered value to detect
+	// staleness without diffing the vector. State and Reliability are
+	// plain fields written directly by the simulator, so such caches must
+	// compare them alongside ver.
+	ver uint64
+
 	// Failures counts how many times this PM has failed.
 	Failures int
 }
@@ -191,6 +199,7 @@ func (p *PM) Host(vm *VM) error {
 			vm.ID, vm.Demand, p.ID, p.Used, p.Class.Capacity, p.State)
 	}
 	p.Used.AddInPlace(vm.Demand)
+	p.ver++
 	p.vms[vm.ID] = vm
 	vm.Host = p.ID
 	return nil
@@ -212,6 +221,7 @@ func (p *PM) Evict(vm *VM) error {
 			p.Used[i] = 0
 		}
 	}
+	p.ver++
 	delete(p.vms, vm.ID)
 	vm.Host = NoPM
 	return nil
@@ -232,6 +242,7 @@ func (p *PM) Reserve(demand vector.V) error {
 	}
 	p.Used.AddInPlace(demand)
 	p.reserved.AddInPlace(demand)
+	p.ver++
 	return nil
 }
 
@@ -252,7 +263,14 @@ func (p *PM) Release(demand vector.V) {
 			p.reserved[i] = 0
 		}
 	}
+	p.ver++
 }
+
+// Version returns the PM's occupancy mutation counter. It increments on
+// every Host, Evict, Reserve, and Release; an unchanged Version together
+// with unchanged State and Reliability means every occupancy-derived
+// quantity (utilization, headroom, level) is still valid.
+func (p *PM) Version() uint64 { return p.ver }
 
 // Reserved returns the currently reserved (non-VM) portion of Used.
 func (p *PM) Reserved() vector.V { return p.reserved.Clone() }

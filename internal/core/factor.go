@@ -59,6 +59,11 @@ type Context struct {
 	mscratch *matrixScratch
 	arr      arrivalScratch
 	vmBuf    []*cluster.VM
+
+	// cand is the sparse candidate index (candidates.go), built lazily on
+	// the first placement evaluated with MatrixOptions.CandidateK > 0 and
+	// kept in sync with the fleet via per-PM version stamps.
+	cand *candIndex
 }
 
 // classInfo holds the per-class constants of Section III.B.4.
@@ -252,6 +257,16 @@ func effProbability(info *classInfo, u float64) float64 {
 	if info.wj == 0 {
 		return 0
 	}
+	return float64(levelOf(info, u)) / float64(info.wj) * info.eff
+}
+
+// levelOf inverts the level partition of Eq. 4 for a class at utilization
+// u, returning the level in {1, ..., W_j}. It is the single source of the
+// level arithmetic: effProbability and the sparse candidate index
+// (candidates.go) both call it, so a PM's score group and its dense cell
+// value agree bit-for-bit by construction. Callers must ensure
+// info.wj > 0.
+func levelOf(info *classInfo, u float64) int {
 	// Eq. 5 draws w_j from {1, ..., W_j}: with VM i on board the PM is
 	// never idle, so the floor of the partition is level 1. Inverting
 	// the level partition of Eq. 4: w = floor((u/U_min)^(1/K)).
@@ -274,7 +289,7 @@ func effProbability(info *classInfo, u float64) float64 {
 	} else if info.umin <= 0 && u > 0 {
 		level = info.wj
 	}
-	return float64(level) / float64(info.wj) * info.eff
+	return level
 }
 
 // prospectiveUtilization computes the joint utilization PM pm would have

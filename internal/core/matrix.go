@@ -112,6 +112,19 @@ type MatrixOptions struct {
 	// the same VMs. Expensive (one full matrix build per move); the
 	// simulator enables it in -audit=event mode.
 	SelfAudit bool
+
+	// CandidateK, when positive, routes consolidation and arrival
+	// placement through the sparse candidate index (candidates.go,
+	// sparse.go) for the canonical default factor program: decisions come
+	// from per-shape score groups instead of a dense M x N fill, and are
+	// bit-identical to the dense engine by construction. K is a sizing
+	// contract — the expected ceiling on non-empty score groups per
+	// demand shape — not a structural cap: a shape that needs more groups
+	// is still scanned exactly, and the overflow is counted on
+	// ctx.Obs ("core.sparse_shape_overflow") so a misconfigured K is
+	// visible. Factor programs other than the canonical four fall back to
+	// the dense path. Zero keeps the dense engine everywhere.
+	CandidateK int
 }
 
 // NewMatrix builds the probability matrix over the data center's active

@@ -61,6 +61,9 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 	if len(vms) == 0 {
 		return nil, nil
 	}
+	if opts.CandidateK > 0 && canonicalDefault(factors) {
+		return consolidateSparse(ctx, factors, params, opts, vms)
+	}
 	stop := ctx.Obs.Phase("kernel_build").Time()
 	m, err := NewMatrixWith(ctx, factors, vms, opts)
 	stop()

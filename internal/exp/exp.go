@@ -55,6 +55,12 @@ type Options struct {
 	// WeekTrace.
 	TraceGen func(seed int64) []workload.Request
 
+	// CandidateK, when positive, runs the dynamic scheme through the
+	// sparse candidate-set engine (core.MatrixOptions.CandidateK): top-K
+	// score-group placement, bit-identical to the dense kernel. Static
+	// schemes ignore it.
+	CandidateK int
+
 	// Observe, when set, is called once per simulation run (before it
 	// starts) with the scheme's name and must return that run's private
 	// observability sink, or nil to leave the run uninstrumented. The
@@ -110,6 +116,9 @@ func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, op
 	fleet := opts.Fleet
 	if fleet == nil {
 		fleet = cluster.TableIIFleet
+	}
+	if d, ok := placer.(*policy.Dynamic); ok && opts.CandidateK > 0 {
+		d.Opts.CandidateK = opts.CandidateK
 	}
 	cfg := sim.Config{
 		DC:       fleet(),

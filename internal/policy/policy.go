@@ -218,7 +218,7 @@ func (d *Dynamic) FactorSet() []core.Factor { return d.factors() }
 // PMs. (The paper's arrival rule, "allocate it to the PM with the highest
 // probability", leaves the all-zero column undefined.)
 func (d *Dynamic) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
-	if pm := core.BestPlacement(ctx, d.factors(), vm); pm != nil {
+	if pm := core.BestPlacementWith(ctx, d.factors(), vm, d.Opts); pm != nil {
 		ctx.Obs.Add("policy.dynamic_place", 1)
 		return pm
 	}

@@ -533,6 +533,9 @@ func (s *simulator) setupAudit() {
 	}
 	if d, ok := s.cfg.Placer.(*policy.Dynamic); ok {
 		s.aud.Register(audit.TrackerCheck(s.pctx, d.FactorSet()))
+		if d.Opts.CandidateK > 0 {
+			s.aud.Register(audit.SparseCheck(s.pctx, d.FactorSet(), d.Opts.CandidateK))
+		}
 		if s.cfg.Audit == audit.Event {
 			d.Opts.SelfAudit = true
 		}
