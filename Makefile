@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit resume-audit sparse-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
+.PHONY: test check vet race audit resume-audit sparse-audit cells-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
 
 test:
 	$(GO) test ./...
@@ -50,13 +50,37 @@ resume-audit:
 	$(GO) run ./cmd/tracestat -diff $$tmp/full.jsonl $$tmp/combined.jsonl && \
 	rm -rf $$tmp
 
+## cells-audit: the multi-cell differential gate — the resume-audit
+## scenario run monolithically and at 4 and 16 cells (all three traces
+## must be canonically byte-identical), then a re-shard resume chain: a
+## 16-cell run checkpointed mid-stream and resumed as a 4-cell world,
+## whose stitched trace must still match the monolith's. The 16-cell leg
+## also runs the full event audit (per-cell queue verification plus the
+## sharded snapshot round-trip check).
+cells-audit:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/mono.jsonl && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/c4.jsonl -cells 4 && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/c16.jsonl -cells 16 -audit=event && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/mono.jsonl $$tmp/c4.jsonl && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/mono.jsonl $$tmp/c16.jsonl && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/prefix.jsonl -cells 16 \
+		-checkpoint $$tmp/ck.json -stop-after $(RESUME_STOP) && \
+	$(GO) run ./cmd/dvmpsim $(RESUME_FLAGS) -trace $$tmp/tail.jsonl -cells 4 \
+		-resume $$tmp/ck.json && \
+	cat $$tmp/prefix.jsonl $$tmp/tail.jsonl > $$tmp/combined.jsonl && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/mono.jsonl $$tmp/combined.jsonl && \
+	rm -rf $$tmp
+
 ## fuzz-smoke: short randomized fuzz budgets — the audit harness's
-## randomized-operations differential (internal/audit.FuzzOperations) and
-## the crash-injection resume differential (internal/sim.FuzzSnapshotResume).
-## FUZZTIME=10s by default (each).
+## randomized-operations differential (internal/audit.FuzzOperations),
+## the crash-injection resume differential (internal/sim.FuzzSnapshotResume),
+## and the multi-cell crash-and-reshard differential
+## (internal/sim.FuzzCellOrchestrator). FUZZTIME=10s by default (each).
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz FuzzOperations -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSnapshotResume -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzCellOrchestrator -fuzztime $(FUZZTIME)
 
 ## bench-smoke: run every Kernel*, Engine*, and Sweep micro-benchmark
 ## exactly once. Not a measurement — a liveness gate: benchmarks bit-rot
@@ -68,11 +92,13 @@ bench-smoke:
 	$(GO) test ./internal/exp -run '^$$' -bench '^BenchmarkSweep' -benchtime 1x
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
-## (covers the lock-free metrics hot path and the parallel experiment
-## harness), the full-trace audit run, the sparse-vs-dense differential
-## gate, the checkpoint/resume crash-safety gate, a fuzz smoke test, and
-## a one-iteration pass over the kernel benchmarks.
-check: vet race audit sparse-audit resume-audit fuzz-smoke bench-smoke
+## (covers the lock-free metrics hot path, the parallel experiment
+## harness, and the multi-cell engine in internal/sim, internal/cell,
+## and internal/exp), the full-trace audit run, the sparse-vs-dense
+## differential gate, the checkpoint/resume crash-safety gate, the
+## multi-cell differential gate, a fuzz smoke test, and a one-iteration
+## pass over the kernel benchmarks.
+check: vet race audit sparse-audit resume-audit cells-audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with
@@ -93,7 +119,9 @@ bench-paper:
 ## events), BENCH_sweep.json (replication-sweep runs/sec at 1/2/4/8
 ## workers, merged reports asserted byte-identical across worker counts),
 ## and BENCH_scale.json (dense vs sparse candidate-set placement on
-## build / round / arrival at 100 / 1k / 10k PMs, equivalence-gated).
+## build / round / arrival at 100 / 1k / 10k PMs, plus the multi-cell
+## engine curve at 1/4/16/64 cells over a 10k-PM fleet — both
+## equivalence-gated).
 bench-json:
 	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json \
 		-engine-o BENCH_engine.json -sweep-o BENCH_sweep.json \

@@ -18,7 +18,12 @@
 //     (MatrixOptions.CandidateK) against the dense kernel on the same
 //     three hot operations at 100/1k/10k PMs. Decisions are asserted
 //     identical (SparseMatrix.DiffDense, same arrival PM) before any
-//     timing; the numbers quantify cost only, never behavior.
+//     timing; the numbers quantify cost only, never behavior. The same
+//     file also carries the multi-cell engine's curve: a fixed workload
+//     on a 10k-PM fleet simulated end to end at C∈{1,4,16,64} cells,
+//     every cell count's Result asserted identical to the monolith's
+//     before timing, reporting whole-run and per-event cost of the
+//     shared-clock orchestrator.
 //
 // BENCH_core.json additionally records, per scale, the slab-vs-scalar row
 // fill ratio: the batched aligned-slab kernel path against the same kernel
@@ -36,7 +41,8 @@
 //	            [-engine-o BENCH_engine.json] [-sweep-o BENCH_sweep.json]
 //	            [-scale-o BENCH_scale.json] [-sizes 100,1000]
 //	            [-events 10000,100000,1000000] [-sweep-workers 1,2,4,8]
-//	            [-scale-sizes 100,1000,10000] [-scale-k 64] [-benchtime 300ms]
+//	            [-scale-sizes 100,1000,10000] [-scale-k 64]
+//	            [-cell-counts 1,4,16,64] [-cell-pms 10000] [-benchtime 300ms]
 //	benchreport -diff old.json new.json [-threshold 0.2]
 package main
 
@@ -56,7 +62,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/oracle"
 	"repro/internal/exp"
+	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/spare"
 	"repro/internal/sim/schedheap"
 	"repro/internal/stats"
 	"repro/internal/vector"
@@ -148,6 +156,8 @@ func run(args []string, out io.Writer) error {
 		workersFlag = fs.String("sweep-workers", "1,2,4,8", "comma-separated sweep worker counts")
 		scaleSizes  = fs.String("scale-sizes", "100,1000,10000", "comma-separated PM counts for the scale suite (VMs = 2x)")
 		scaleK      = fs.Int("scale-k", 64, "candidate budget K for the scale suite's sparse side")
+		cellCounts  = fs.String("cell-counts", "1,4,16,64", "comma-separated cell counts for the scale suite's multi-cell curve")
+		cellPMs     = fs.Int("cell-pms", 10000, "fleet size for the multi-cell curve's end-to-end runs")
 		benchtime   = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,7 +187,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *suite == "all" || *suite == "scale" {
-		if err := runScaleSuite(out, *scalePath, *scaleSizes, *scaleK, *benchtime); err != nil {
+		if err := runScaleSuite(out, *scalePath, *scaleSizes, *scaleK, *cellCounts, *cellPMs, *benchtime); err != nil {
 			return err
 		}
 	}
@@ -377,6 +387,9 @@ type ScaleReport struct {
 	Benchtime   string       `json:"benchtime"`
 	K           int          `json:"k"`
 	Scales      []ScalePoint `json:"scales"`
+	CellPMs     int          `json:"cell_pms"`
+	CellVMs     int          `json:"cell_vms"`
+	CellCurve   []CellPoint  `json:"cells"`
 }
 
 // ScalePoint holds one fleet size's dense-vs-sparse measurements.
@@ -386,6 +399,20 @@ type ScalePoint struct {
 	Build   ScaleMeasure `json:"build"`
 	Round   ScaleMeasure `json:"round"`
 	Arrival ScaleMeasure `json:"arrival"`
+}
+
+// CellPoint is one cell count's end-to-end simulation cost on the fixed
+// multi-cell bench scenario. Every point's Result is asserted identical
+// to the monolith's (cells=1) before timing — the curve quantifies the
+// shared-clock orchestrator's overhead, never a behavior change. The
+// _ns_op/_ns_event keys join `benchreport -diff` automatically.
+type CellPoint struct {
+	Cells      int     `json:"cells"`
+	RunNsOp    float64 `json:"run_ns_op"`
+	NsPerEvent float64 `json:"dispatch_ns_event"`
+	Speedup    float64 `json:"speedup_vs_monolith"`
+	Events     uint64  `json:"events"`
+	Iters      int     `json:"iters"`
 }
 
 // ScaleMeasure compares the two engines on one operation. The timing keys
@@ -410,19 +437,34 @@ func newScaleMeasure(d, s sample) ScaleMeasure {
 	return m
 }
 
-func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, benchtime time.Duration) error {
+func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, cellCountsFlag string, cellPMs int, benchtime time.Duration) error {
 	sizes, err := parseSizes(sizesFlag)
 	if err != nil {
 		return err
 	}
+	counts, err := parseWorkers(cellCountsFlag) // same grammar: positive ints
+	if err != nil {
+		return fmt.Errorf("-cell-counts: %w", err)
+	}
+	if cellPMs < 2 {
+		return fmt.Errorf("-cell-pms must be at least 2 (got %d)", cellPMs)
+	}
+	for _, c := range counts {
+		if c > cellPMs {
+			return fmt.Errorf("-cell-counts entry %d exceeds -cell-pms %d: every cell needs at least one PM", c, cellPMs)
+		}
+	}
 	rep := ScaleReport{
 		Description: "sparse candidate-set engine (MatrixOptions.CandidateK) vs dense kernel: " +
 			"matrix build, per-round incremental update (one Apply), arrival placement; " +
-			"decisions asserted identical before timing",
+			"decisions asserted identical before timing. cells[] is the multi-cell " +
+			"engine's end-to-end curve on the fixed bench scenario, every cell count's " +
+			"Result asserted identical to the monolith's",
 		Go:        runtime.Version(),
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Benchtime: benchtime.String(),
 		K:         k,
+		CellPMs:   cellPMs,
 	}
 	for _, pms := range sizes {
 		sc, err := measureScalePoint(out, pms, 2*pms, k, benchtime)
@@ -431,7 +473,117 @@ func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, benchtime ti
 		}
 		rep.Scales = append(rep.Scales, sc)
 	}
+	if err := measureCellCurve(out, &rep, counts, cellPMs, k, benchtime); err != nil {
+		return err
+	}
 	return writeJSON(out, outPath, rep)
+}
+
+// cellBenchTrace is the multi-cell curve's fixed workload: nVMs staggered
+// single-core requests, a third long-lived, the rest short — the same
+// fragmenting shape the consolidation tests use, scaled so the fleet stays
+// sparsely loaded (the curve measures orchestrator overhead, and the
+// fleet-size-dependent costs — arrival scans, spare planning, partition
+// bookkeeping — are what sharding is supposed to keep in check).
+func cellBenchTrace(nVMs int) []workload.Request {
+	rs := make([]workload.Request, 0, nVMs)
+	for i := 0; i < nVMs; i++ {
+		run := 1800.0
+		if i%3 == 0 {
+			run = 12000
+		}
+		rs = append(rs, workload.Request{
+			JobID: i, Submit: float64(i) * 6, CPUCores: 1, MemoryGB: 0.5,
+			EstimatedRunTime: run, RunTime: run,
+		})
+	}
+	return rs
+}
+
+func cellBenchConfig(cells, pms, k, nVMs int) sim.Config {
+	d := policy.NewDynamic()
+	d.Opts.CandidateK = k
+	sc := spare.DefaultConfig()
+	return sim.Config{
+		DC:        cluster.TableIIFleetScaled(pms),
+		Placer:    d,
+		Requests:  cellBenchTrace(nVMs),
+		Spare:     &sc,
+		WarmStart: 8,
+		Cells:     cells,
+	}
+}
+
+// measureCellCurve runs the fixed scenario end to end at every cell count.
+// Gate first: each count's Result must equal the monolith's exactly (the
+// bit-exactness contract at fleet scale); only then is anything timed.
+func measureCellCurve(out io.Writer, rep *ScaleReport, counts []int, pms, k int, benchtime time.Duration) error {
+	nVMs := pms / 5
+	rep.CellVMs = nVMs
+	countEvents := func(cells int) (uint64, *sim.Result, error) {
+		m, err := sim.New(cellBenchConfig(cells, pms, k, nVMs))
+		if err != nil {
+			return 0, nil, err
+		}
+		for {
+			ok, err := m.Step()
+			if err != nil {
+				return 0, nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+		res, err := m.Finish()
+		return m.Dispatched(), res, err
+	}
+
+	// The reference is always the monolith, whether or not 1 is in the
+	// requested curve.
+	refEvents, refRes, err := countEvents(1)
+	if err != nil {
+		return fmt.Errorf("cells=1: %w", err)
+	}
+	for _, c := range counts {
+		if c == 1 {
+			continue
+		}
+		ev, res, err := countEvents(c)
+		if err != nil {
+			return fmt.Errorf("cells=%d: %w", c, err)
+		}
+		if res.Summary != refRes.Summary || ev != refEvents {
+			return fmt.Errorf("cells=%d: result differs from the monolith's (equivalence violated): %d events vs %d, %+v vs %+v",
+				c, ev, refEvents, res.Summary, refRes.Summary)
+		}
+	}
+
+	var base float64
+	for _, c := range counts {
+		cfg := cellBenchConfig(c, pms, k, nVMs)
+		s, err := measure(benchtime, func() error {
+			_, err := sim.Run(cfg)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("cells=%d: %w", c, err)
+		}
+		pt := CellPoint{
+			Cells:      c,
+			RunNsOp:    s.nsPerOp,
+			NsPerEvent: s.nsPerOp / float64(refEvents),
+			Events:     refEvents,
+			Iters:      s.iters,
+		}
+		if base == 0 {
+			base = s.nsPerOp
+		}
+		pt.Speedup = base / s.nsPerOp
+		rep.CellCurve = append(rep.CellCurve, pt)
+		fmt.Fprintf(out, "cells=%-4d pms=%-6d %8.1fms/run  %7.0fns/event  (%d events, %.2fx vs cells=%d)\n",
+			c, pms, pt.RunNsOp/1e6, pt.NsPerEvent, refEvents, pt.Speedup, counts[0])
+	}
+	return nil
 }
 
 func measureScalePoint(out io.Writer, pms, nVMs, k int, benchtime time.Duration) (ScalePoint, error) {
@@ -1075,14 +1227,17 @@ func loadMetrics(path string) (map[string]float64, error) {
 	}
 	var doc struct {
 		Scales []map[string]any `json:"scales"`
+		Cells  []map[string]any `json:"cells"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	metrics := make(map[string]float64)
-	for _, scale := range doc.Scales {
+	for _, scale := range append(doc.Scales, doc.Cells...) {
 		prefix := ""
-		if v, ok := scale["pms"].(float64); ok {
+		if v, ok := scale["cells"].(float64); ok {
+			prefix = fmt.Sprintf("cells=%d", int(v))
+		} else if v, ok := scale["pms"].(float64); ok {
 			prefix = fmt.Sprintf("pms=%d", int(v))
 		} else if v, ok := scale["events"].(float64); ok {
 			prefix = fmt.Sprintf("events=%d", int(v))

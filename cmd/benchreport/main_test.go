@@ -93,7 +93,8 @@ func TestRunEngineSuite(t *testing.T) {
 func TestRunScaleSuite(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "scale.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-suite", "scale", "-scale-sizes", "8,16", "-scale-k", "4", "-benchtime", "5ms", "-scale-o", out}, &buf); err != nil {
+	if err := run([]string{"-suite", "scale", "-scale-sizes", "8,16", "-scale-k", "4",
+		"-cell-counts", "1,3", "-cell-pms", "30", "-benchtime", "5ms", "-scale-o", out}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -128,12 +129,48 @@ func TestRunScaleSuite(t *testing.T) {
 			}
 		}
 	}
+	// The multi-cell curve rode along: one point per requested count, the
+	// equivalence gate already passed (run would have errored), timings
+	// populated, events identical across counts.
+	if len(rep.CellCurve) != 2 {
+		t.Fatalf("got %d cell points, want 2", len(rep.CellCurve))
+	}
+	if rep.CellPMs != 30 || rep.CellVMs <= 0 {
+		t.Errorf("cell fleet shape: pms=%d vms=%d", rep.CellPMs, rep.CellVMs)
+	}
+	for i, pt := range rep.CellCurve {
+		if pt.RunNsOp <= 0 || pt.NsPerEvent <= 0 || pt.Iters <= 0 || pt.Speedup <= 0 {
+			t.Errorf("cells=%d: non-positive measurements %+v", pt.Cells, pt)
+		}
+		if pt.Events != rep.CellCurve[0].Events {
+			t.Errorf("cells=%d dispatched %d events, cells=%d dispatched %d",
+				pt.Cells, pt.Events, rep.CellCurve[0].Cells, rep.CellCurve[0].Events)
+		}
+		if want := []int{1, 3}[i]; pt.Cells != want {
+			t.Errorf("cell point %d is cells=%d, want %d", i, pt.Cells, want)
+		}
+	}
 	buf.Reset()
 	if err := run([]string{"-diff", out, out}, &buf); err != nil {
 		t.Fatalf("diff: %v", err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("within")) {
 		t.Fatalf("self-diff reported regressions:\n%s", buf.String())
+	}
+}
+
+// TestScaleSuiteCellValidation pins the cells-curve flag rejection rules.
+func TestScaleSuiteCellValidation(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-suite", "scale", "-cell-counts", "0"},
+		{"-suite", "scale", "-cell-counts", "1,x"},
+		{"-suite", "scale", "-cell-pms", "1"},
+		{"-suite", "scale", "-cell-pms", "8", "-cell-counts", "16"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }
 
@@ -151,6 +188,11 @@ func TestDiffReadsCommittedScaleReport(t *testing.T) {
 		"pms=10000/build/sparse_ns_op",
 		"pms=10000/round/sparse_ns_op",
 		"pms=100/arrival/sparse_ns_op",
+		"cells=1/run_ns_op",
+		"cells=1/dispatch_ns_event",
+		"cells=4/run_ns_op",
+		"cells=16/run_ns_op",
+		"cells=64/run_ns_op",
 	} {
 		if _, ok := m[want]; !ok {
 			t.Errorf("committed BENCH_scale.json missing metric %s", want)

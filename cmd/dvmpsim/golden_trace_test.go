@@ -102,6 +102,33 @@ func TestGoldenTraceSparse(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceCells replays the golden scenario through the sharded
+// multi-cell engine at C=2 and C=8 (every PM its own cell). The
+// shared-clock orchestrator's contract is the monolith's exact dispatch
+// order, so both canonical traces must byte-match the SAME golden file
+// the single-cell run pins — cell stamps are non-canonical and are
+// stripped alongside wall-clock fields.
+func TestGoldenTraceCells(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden (run TestGoldenTrace with -update first): %v", err)
+	}
+	for _, cells := range []string{"2", "8"} {
+		got := canonicalTrace(t, "-cells", cells)
+		if !bytes.Equal(got, want) {
+			gl := bytes.Split(got, []byte("\n"))
+			wl := bytes.Split(want, []byte("\n"))
+			n := min(len(gl), len(wl))
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(gl[i], wl[i]) {
+					t.Fatalf("-cells %s trace diverged from golden at line %d:\ngot:  %s\nwant: %s", cells, i+1, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("-cells %s trace diverged from golden: %d lines vs %d", cells, len(gl), len(wl))
+		}
+	}
+}
+
 // TestTraceDeterminism asserts the core observability guarantee end to
 // end: two dvmpsim runs with identical flags produce byte-identical
 // traces once wall-clock fields are stripped.

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dvmpsim [-scheme dynamic] [-swf lpc.swf] [-seed 1] [-spare]
-//	        [-nodes 100] [-sparse K] [-csv out.csv] [-v]
+//	        [-nodes 100] [-sparse K] [-cells C] [-csv out.csv] [-v]
 //	        [-trace run.jsonl] [-metrics run.metrics.json]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -13,6 +13,12 @@
 // through the candidate-set engine with budget K (see README "Sparse
 // placement"); decisions — and therefore traces — are bit-identical to
 // the dense kernel, which TestGoldenTraceSparse pins.
+//
+// -cells C partitions the fleet into C cells advanced by the
+// shared-clock orchestrator (see README "Multi-cell runs" and DESIGN.md
+// §14); decisions and canonical traces are bit-identical to -cells 1,
+// which TestGoldenTraceCells and `make cells-audit` pin. Checkpoints
+// taken under one cell count resume under any other.
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole run for `go tool pprof`; the placement hot path (matrix build
@@ -75,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		metrPath  = fs.String("metrics", "", "write the run's metrics registry as JSON to this file")
 		seed      = fs.Int64("seed", 1, "workload / random-scheme seed")
 		sparseK   = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse placement engine (0 = dense)")
+		cells     = fs.Int("cells", 1, "partition the fleet into N cells under the shared-clock orchestrator (1 = monolithic engine; results are bit-identical for any N)")
 		useSpare  = fs.Bool("spare", false, "enable the spare-server controller (Section IV)")
 		nodes     = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
 		jobCount  = fs.Int("jobs", 0, "truncate the workload to the first N jobs (0 = all)")
@@ -114,6 +121,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-sparse must be >= 0 (got %d)", *sparseK)
 	case *sparseK > 0 && *scheme != "dynamic":
 		return fmt.Errorf("-sparse applies to the dynamic scheme only (got -scheme %s)", *scheme)
+	case *cells < 1:
+		return fmt.Errorf("-cells must be >= 1 (got %d)", *cells)
+	case *cells > *nodes:
+		return fmt.Errorf("-cells must not exceed -nodes: every cell owns at least one PM (got %d cells for %d nodes)", *cells, *nodes)
 	}
 
 	if *cpuProf != "" {
@@ -178,7 +189,7 @@ func run(args []string, out io.Writer) error {
 	} else {
 		dc = cluster.TableIIFleetScaled(*nodes)
 	}
-	cfg := sim.Config{DC: dc, Placer: placer, Requests: reqs, TimedMigrations: *timed, WarmStart: *warm}
+	cfg := sim.Config{DC: dc, Placer: placer, Requests: reqs, TimedMigrations: *timed, WarmStart: *warm, Cells: *cells}
 	cfg.Audit, err = audit.ParseMode(*auditMode)
 	if err != nil {
 		return err

@@ -100,6 +100,9 @@ func TestRunErrors(t *testing.T) {
 		{"resume non-checkpoint", []string{"-nodes", "4", "-jobs", "10", "-resume", garbage}, "magic"},
 		{"negative sparse", []string{"-scheme", "dynamic", "-sparse", "-8"}, "-sparse"},
 		{"sparse on static scheme", []string{"-scheme", "first-fit", "-sparse", "64"}, "dynamic"},
+		{"zero cells", []string{"-scheme", "dynamic", "-cells", "0"}, "-cells"},
+		{"negative cells", []string{"-scheme", "dynamic", "-cells", "-2"}, "-cells"},
+		{"more cells than nodes", []string{"-scheme", "dynamic", "-nodes", "4", "-cells", "5"}, "-cells"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

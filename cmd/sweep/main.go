@@ -9,7 +9,7 @@
 // Usage:
 //
 //	sweep [-schemes first-fit,best-fit,dynamic] [-reps 8 | -seeds 1,4,9]
-//	      [-workers N] [-nodes 100] [-jobs 0] [-spare] [-sparse K]
+//	      [-workers N] [-nodes 100] [-jobs 0] [-spare] [-sparse K] [-cells C]
 //	      [-o report.json] [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
 //
 // Each seed generates its own synthetic week (the Figure 2 calibration),
@@ -20,7 +20,10 @@
 // sweep's output can be compared across machines regardless of their core
 // counts. -sparse K routes the dynamic scheme through the candidate-set
 // placement engine with budget K (bit-identical decisions, see README
-// "Sparse placement"); 0 keeps the dense kernel.
+// "Sparse placement"); 0 keeps the dense kernel. -cells C partitions every
+// run's fleet into C cells advanced by the shared-clock orchestrator (see
+// README "Multi-cell runs"); results are bit-identical to -cells 1, so the
+// report JSON is byte-identical across cell counts.
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole sweep for `go tool pprof`, mirroring cmd/dvmpsim; with more
@@ -64,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		jobCount    = fs.Int("jobs", 0, "truncate each seed's week to the first N jobs (0 = all)")
 		useSpare    = fs.Bool("spare", true, "attach the spare-server controller to the dynamic scheme")
 		sparseK     = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse engine (0 = dense)")
+		cells       = fs.Int("cells", 1, "partition each run's fleet into this many cells (bit-identical results; 1 = monolithic)")
 		outPath     = fs.String("o", "", "write the merged report as JSON to this file (- for stdout)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf     = fs.String("memprofile", "", "write an end-of-sweep heap profile to this file")
@@ -83,6 +87,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-workers must be positive (got %d)", *workers)
 	case *sparseK < 0:
 		return fmt.Errorf("-sparse must be >= 0 (got %d)", *sparseK)
+	case *cells < 1:
+		return fmt.Errorf("-cells must be positive (got %d)", *cells)
+	case *cells > *nodes:
+		return fmt.Errorf("-cells (%d) cannot exceed -nodes (%d): every cell needs at least one PM", *cells, *nodes)
 	}
 	schemes, err := parseSchemes(*schemesFlag)
 	if err != nil {
@@ -123,6 +131,7 @@ func run(args []string, out io.Writer) error {
 		Base: exp.Options{
 			SpareForDynamic: *useSpare,
 			CandidateK:      *sparseK,
+			Cells:           *cells,
 			TraceGen:        traceGen(*jobCount),
 		},
 		Schemes: schemes,

@@ -33,6 +33,9 @@ func TestRunErrors(t *testing.T) {
 		{"trailing comma", []string{"-schemes", "dynamic,"}, "empty scheme"},
 		{"blank scheme entry", []string{"-schemes", "dynamic, ,first-fit"}, "empty scheme"},
 		{"bad seed entry", []string{"-seeds", "1,x,3"}, "seed"},
+		{"zero cells", []string{"-cells", "0"}, "-cells"},
+		{"negative cells", []string{"-cells", "-4"}, "-cells"},
+		{"more cells than nodes", []string{"-nodes", "8", "-cells", "9"}, "-cells"},
 		{"unknown scheme", []string{"-schemes", "nope", "-reps", "1", "-nodes", "8", "-jobs", "10"}, "scheme"},
 	}
 	for _, tc := range cases {
@@ -91,5 +94,35 @@ func TestRunSparseReportMatchesDense(t *testing.T) {
 	sparse := report("sparse.json", "-sparse", "64")
 	if !bytes.Equal(dense, sparse) {
 		t.Fatal("sparse sweep report differs from dense; the engines diverged")
+	}
+}
+
+// TestRunCellsReportMatchesMonolith runs the same tiny sweep at -cells 1,
+// 2, and 8 and requires byte-identical report JSON: the multi-cell engine
+// makes the monolith's exact decisions, so every aggregate matches.
+func TestRunCellsReportMatchesMonolith(t *testing.T) {
+	dir := t.TempDir()
+	report := func(name string, extra ...string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		args := append([]string{
+			"-schemes", "dynamic,first-fit", "-reps", "2", "-nodes", "8", "-jobs", "40",
+			"-workers", "2", "-o", path,
+		}, extra...)
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	mono := report("mono.json")
+	for _, cells := range []string{"2", "8"} {
+		if got := report("cells"+cells+".json", "-cells", cells); !bytes.Equal(got, mono) {
+			t.Fatalf("-cells %s sweep report differs from the monolith's", cells)
+		}
 	}
 }

@@ -218,6 +218,16 @@ func SparseCheck(ctx *core.Context, factors []core.Factor, k int) Check {
 		PerEvent: false,
 		Fn: func(now float64) error {
 			ctx := ctx.At(now)
+			// Detach the observer for the duration of the check: the
+			// check's own sparse builds and shortlist replays would
+			// otherwise increment the run's "core.sparse_shape_overflow"
+			// counter (and any other kernel tallies) — the audit polluting
+			// the very metrics it validates, the same shared-sink hazard
+			// the sweep's @seedN fix closed. ctx is the run's live
+			// context, so restore on every exit path.
+			savedObs := ctx.Obs
+			ctx.Obs = nil
+			defer func() { ctx.Obs = savedObs }()
 			vms := core.MigratableVMs(ctx.DC)
 			if len(vms) == 0 {
 				return nil

@@ -1,0 +1,108 @@
+// Package cell partitions a simulated fleet into independently-queued
+// cells advanced in global (time, seq) order by a shared-clock
+// orchestrator.
+//
+// A cell owns a slice of the datacenter: a contiguous range of PMs, the
+// VMs whose IDs hash onto it, the calendar queue holding their pending
+// events, and (derived via SeedFor) its own RNG stream for workload
+// slicing. The orchestrator merges the per-cell queues into one total
+// order without ever moving an event between cells: each step it peeks
+// every cell's next (at, seq) and fires the minimum, ties broken by
+// ascending cell ID. Cross-cell concerns — the global spare budget,
+// failure injection, consolidation migrations that cross a cell
+// boundary — never live inside a cell; the simulation layer routes them
+// through the orchestrator step so per-cell state never aliases.
+//
+// The package is dependency-free by design: the engine side implements
+// Queue, the simulation side owns routing, and everything here is pure
+// arithmetic over (at, seq, cellID) triples — which is what makes the
+// ordering proof in DESIGN.md §14 short enough to trust.
+package cell
+
+import "fmt"
+
+// Queue is the per-cell event source the orchestrator merges. It is the
+// HasPendingEvents / PeekNextEventTime / ProcessNextEvent decomposition
+// of a discrete-event queue: peek must be side-effect-free with respect
+// to ordering, and ProcessNextEvent must fire exactly the event peek
+// reported.
+//
+// PeekNextEventTime returns the (at, seq) key of the queue's minimum
+// pending event. Seq values must be unique ACROSS all queues handed to
+// one orchestrator (the engine layer guarantees this with a shared
+// counter); the orchestrator's merge is a strict total order only under
+// that contract.
+type Queue interface {
+	// HasPendingEvents reports whether the queue holds at least one
+	// live (non-cancelled) event.
+	HasPendingEvents() bool
+	// PeekNextEventTime returns the minimum pending event's time and
+	// sequence number. ok is false when the queue is empty.
+	PeekNextEventTime() (at float64, seq uint64, ok bool)
+	// ProcessNextEvent dispatches the minimum pending event and
+	// returns false when the queue was empty.
+	ProcessNextEvent() bool
+}
+
+// Orchestrator merges C per-cell queues into one deterministic global
+// event order. It owns no clock of its own: the shared clock is simply
+// the (at, seq) key of the last event it selected, which callers read
+// from Peek before dispatching.
+type Orchestrator struct {
+	cells []Queue
+}
+
+// NewOrchestrator wraps the given per-cell queues. The slice is
+// retained, not copied; index in the slice IS the cell ID.
+func NewOrchestrator(cells []Queue) *Orchestrator {
+	if len(cells) == 0 {
+		panic("cell: orchestrator needs at least one queue")
+	}
+	return &Orchestrator{cells: cells}
+}
+
+// Cells returns the number of queues under the orchestrator.
+func (o *Orchestrator) Cells() int { return len(o.cells) }
+
+// HasPendingEvents reports whether any cell still holds a live event.
+func (o *Orchestrator) HasPendingEvents() bool {
+	for _, q := range o.cells {
+		if q.HasPendingEvents() {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek returns the globally minimum pending event across all cells:
+// smallest at, then smallest seq, then smallest cell ID. With the
+// shared-seq contract the cell-ID leg is unreachable for live events
+// (seqs are globally unique), but it keeps the comparator a strict
+// total order even if a caller violates the contract — a corrupted
+// merge then stays deterministic instead of depending on scan order.
+func (o *Orchestrator) Peek() (at float64, seq uint64, cellID int, ok bool) {
+	cellID = -1
+	for i, q := range o.cells {
+		a, s, has := q.PeekNextEventTime()
+		if !has {
+			continue
+		}
+		if cellID < 0 || a < at || (a == at && s < seq) {
+			at, seq, cellID = a, s, i
+		}
+	}
+	return at, seq, cellID, cellID >= 0
+}
+
+// ProcessNextEvent fires the globally minimum pending event and reports
+// which cell it lived in. ok is false when every cell is empty.
+func (o *Orchestrator) ProcessNextEvent() (cellID int, ok bool) {
+	_, _, cellID, ok = o.Peek()
+	if !ok {
+		return -1, false
+	}
+	if !o.cells[cellID].ProcessNextEvent() {
+		panic(fmt.Sprintf("cell: queue %d reported a pending event but refused to process it", cellID))
+	}
+	return cellID, true
+}

@@ -1,0 +1,234 @@
+package cell
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fakeQueue is a scripted Queue: a sorted list of (at, seq) keys popped
+// front-to-back, recording the global pop order into a shared log.
+type fakeQueue struct {
+	id     int
+	events []fakeEvent
+	log    *[]fakeEvent
+}
+
+type fakeEvent struct {
+	at   float64
+	seq  uint64
+	cell int
+}
+
+func (q *fakeQueue) HasPendingEvents() bool { return len(q.events) > 0 }
+
+func (q *fakeQueue) PeekNextEventTime() (float64, uint64, bool) {
+	if len(q.events) == 0 {
+		return 0, 0, false
+	}
+	return q.events[0].at, q.events[0].seq, true
+}
+
+func (q *fakeQueue) ProcessNextEvent() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	ev := q.events[0]
+	ev.cell = q.id
+	q.events = q.events[1:]
+	*q.log = append(*q.log, ev)
+	return true
+}
+
+// TestOrchestratorMergeOrder scatters globally-unique (at, seq) keys
+// across random cells and asserts the orchestrator replays them in
+// exactly the monolith order: ascending (at, seq).
+func TestOrchestratorMergeOrder(t *testing.T) {
+	for _, cells := range []int{1, 2, 3, 8} {
+		rng := stats.NewStream(42)
+		var log []fakeEvent
+		qs := make([]*fakeQueue, cells)
+		queues := make([]Queue, cells)
+		for i := range qs {
+			qs[i] = &fakeQueue{id: i, log: &log}
+			queues[i] = qs[i]
+		}
+		// Shared-seq contract: seqs unique across all queues. Times
+		// collide on purpose (25% duplicates) so the seq leg is hot.
+		const n = 400
+		type key struct {
+			at  float64
+			seq uint64
+		}
+		all := make([]key, n)
+		for i := range all {
+			all[i] = key{at: float64(rng.Uint64() % 100), seq: uint64(i + 1)}
+		}
+		for _, k := range all {
+			c := int(rng.Uint64() % uint64(cells))
+			qs[c].events = append(qs[c].events, fakeEvent{at: k.at, seq: k.seq})
+		}
+		for _, q := range qs {
+			sort.Slice(q.events, func(a, b int) bool {
+				if q.events[a].at != q.events[b].at {
+					return q.events[a].at < q.events[b].at
+				}
+				return q.events[a].seq < q.events[b].seq
+			})
+		}
+
+		o := NewOrchestrator(queues)
+		if o.Cells() != cells {
+			t.Fatalf("Cells() = %d, want %d", o.Cells(), cells)
+		}
+		for o.HasPendingEvents() {
+			at, seq, ci, ok := o.Peek()
+			if !ok {
+				t.Fatal("Peek reported empty while HasPendingEvents is true")
+			}
+			gotCell, ok := o.ProcessNextEvent()
+			if !ok || gotCell != ci {
+				t.Fatalf("ProcessNextEvent fired cell %d, Peek chose %d", gotCell, ci)
+			}
+			last := log[len(log)-1]
+			if last.at != at || last.seq != seq || last.cell != ci {
+				t.Fatalf("fired (%g,%d,cell %d), peeked (%g,%d,cell %d)",
+					last.at, last.seq, last.cell, at, seq, ci)
+			}
+		}
+		if len(log) != n {
+			t.Fatalf("dispatched %d events, want %d", len(log), n)
+		}
+		sorted := append([]fakeEvent(nil), log...)
+		sort.Slice(sorted, func(a, b int) bool {
+			if sorted[a].at != sorted[b].at {
+				return sorted[a].at < sorted[b].at
+			}
+			return sorted[a].seq < sorted[b].seq
+		})
+		for i := range log {
+			if log[i].at != sorted[i].at || log[i].seq != sorted[i].seq {
+				t.Fatalf("cells=%d: merge order broke at position %d: got (%g,%d), want (%g,%d)",
+					cells, i, log[i].at, log[i].seq, sorted[i].at, sorted[i].seq)
+			}
+		}
+		if _, _, _, ok := o.Peek(); ok {
+			t.Fatal("Peek reports an event after drain")
+		}
+		if _, ok := o.ProcessNextEvent(); ok {
+			t.Fatal("ProcessNextEvent fired after drain")
+		}
+	}
+}
+
+// TestOrchestratorCellIDTiebreak violates the shared-seq contract on
+// purpose (identical (at, seq) in two cells) and asserts the final
+// comparator leg picks the lower cell ID — the merge stays a
+// deterministic total order even for contract-breaking inputs.
+func TestOrchestratorCellIDTiebreak(t *testing.T) {
+	var log []fakeEvent
+	q0 := &fakeQueue{id: 0, log: &log, events: []fakeEvent{{at: 5, seq: 7}}}
+	q1 := &fakeQueue{id: 1, log: &log, events: []fakeEvent{{at: 5, seq: 7}}}
+	o := NewOrchestrator([]Queue{q0, q1})
+
+	_, _, ci, ok := o.Peek()
+	if !ok || ci != 0 {
+		t.Fatalf("Peek chose cell %d for an exact (at,seq) tie, want 0", ci)
+	}
+	first, _ := o.ProcessNextEvent()
+	second, _ := o.ProcessNextEvent()
+	if first != 0 || second != 1 {
+		t.Fatalf("tie fired cells (%d,%d), want (0,1)", first, second)
+	}
+}
+
+// TestPartitionPMRanges asserts the PM map is a balanced contiguous
+// partition: ranges tile [0, fleet), sizes differ by at most one, and
+// PMCell inverts PMRange for every ID.
+func TestPartitionPMRanges(t *testing.T) {
+	for _, tc := range []struct{ cells, fleet int }{
+		{1, 1}, {1, 8}, {2, 8}, {3, 8}, {8, 8}, {4, 10}, {7, 100}, {64, 1000},
+	} {
+		p, err := NewPartition(tc.cells, tc.fleet)
+		if err != nil {
+			t.Fatalf("NewPartition(%d,%d): %v", tc.cells, tc.fleet, err)
+		}
+		next := 0
+		minSz, maxSz := tc.fleet, 0
+		for c := 0; c < tc.cells; c++ {
+			lo, hi := p.PMRange(c)
+			if lo != next {
+				t.Fatalf("cells=%d fleet=%d: cell %d starts at %d, want %d (gap or overlap)",
+					tc.cells, tc.fleet, c, lo, next)
+			}
+			if hi <= lo {
+				t.Fatalf("cells=%d fleet=%d: cell %d is empty [%d,%d)", tc.cells, tc.fleet, c, lo, hi)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			for id := lo; id < hi; id++ {
+				if got := p.PMCell(id); got != c {
+					t.Fatalf("cells=%d fleet=%d: PMCell(%d) = %d, want %d", tc.cells, tc.fleet, id, got, c)
+				}
+			}
+			next = hi
+		}
+		if next != tc.fleet {
+			t.Fatalf("cells=%d fleet=%d: ranges cover [0,%d), want [0,%d)", tc.cells, tc.fleet, next, tc.fleet)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("cells=%d fleet=%d: range sizes span [%d,%d], want within 1", tc.cells, tc.fleet, minSz, maxSz)
+		}
+	}
+}
+
+// TestPartitionVMCell pins the round-robin VM map: VM 1 on cell 0, and
+// consecutive IDs cycling through every cell.
+func TestPartitionVMCell(t *testing.T) {
+	p, err := NewPartition(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 12; id++ {
+		want := int((id - 1) % 3)
+		if got := p.VMCell(id); got != want {
+			t.Fatalf("VMCell(%d) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestPartitionValidation pins the rejection rules: no zero or negative
+// cell counts, no empty cells, no empty fleets.
+func TestPartitionValidation(t *testing.T) {
+	for _, tc := range []struct{ cells, fleet int }{
+		{0, 8}, {-1, 8}, {9, 8}, {1, 0}, {2, 1},
+	} {
+		if _, err := NewPartition(tc.cells, tc.fleet); err == nil {
+			t.Errorf("NewPartition(%d,%d) accepted, want error", tc.cells, tc.fleet)
+		}
+	}
+}
+
+// TestSeedFor pins the derivation contract: deterministic, sensitive to
+// both inputs, and collision-free across a realistic (seed, cell) grid.
+func TestSeedFor(t *testing.T) {
+	if SeedFor(3, 1) != SeedFor(3, 1) {
+		t.Fatal("SeedFor is not deterministic")
+	}
+	seen := make(map[int64]string)
+	for seed := int64(0); seed < 16; seed++ {
+		for c := 0; c < 64; c++ {
+			v := SeedFor(seed, c)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("SeedFor collision: (seed=%d,cell=%d) = %s", seed, c, prev)
+			}
+			seen[v] = "taken"
+		}
+	}
+}

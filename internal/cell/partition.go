@@ -1,0 +1,91 @@
+package cell
+
+import "fmt"
+
+// Partition maps fleet entities to cells. PMs get balanced contiguous
+// ID ranges (cell 0 owns the lowest IDs) so a cell is a physically
+// meaningful slice of the datacenter; VMs are struck round-robin by ID
+// so arrival load spreads evenly regardless of lifetime skew.
+//
+// Both maps are pure functions of (Cells, Fleet) — no state, no
+// allocation — which is what lets snapshots stay cell-agnostic: a
+// restore re-derives every event's cell from its routing tag and the
+// *target* config's partition, so a C=8 checkpoint restores into C=1
+// (or any other C) without a rewrite pass.
+type Partition struct {
+	Cells int // number of cells, >= 1
+	Fleet int // number of PMs; PM IDs are dense 0..Fleet-1
+}
+
+// NewPartition validates and builds a partition. Cells must be in
+// [1, fleet]: an empty cell would own no PMs and could never host a
+// placement, so it is rejected rather than silently idle.
+func NewPartition(cells, fleet int) (Partition, error) {
+	if fleet < 1 {
+		return Partition{}, fmt.Errorf("cell: fleet size %d < 1", fleet)
+	}
+	if cells < 1 {
+		return Partition{}, fmt.Errorf("cell: cell count %d < 1", cells)
+	}
+	if cells > fleet {
+		return Partition{}, fmt.Errorf("cell: %d cells > %d PMs (every cell must own at least one PM)", cells, fleet)
+	}
+	return Partition{Cells: cells, Fleet: fleet}, nil
+}
+
+// PMCell returns the cell owning PM id. The first Fleet%Cells cells own
+// one extra PM, so range sizes differ by at most one.
+func (p Partition) PMCell(id int) int {
+	if id < 0 || id >= p.Fleet {
+		panic(fmt.Sprintf("cell: PM id %d outside fleet [0,%d)", id, p.Fleet))
+	}
+	base := p.Fleet / p.Cells
+	rem := p.Fleet % p.Cells
+	// The first rem cells each own base+1 PMs.
+	wide := rem * (base + 1)
+	if id < wide {
+		return id / (base + 1)
+	}
+	return rem + (id-wide)/base
+}
+
+// PMRange returns the half-open PM ID range [lo, hi) owned by cell c.
+func (p Partition) PMRange(c int) (lo, hi int) {
+	if c < 0 || c >= p.Cells {
+		panic(fmt.Sprintf("cell: cell %d outside [0,%d)", c, p.Cells))
+	}
+	base := p.Fleet / p.Cells
+	rem := p.Fleet % p.Cells
+	if c < rem {
+		lo = c * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (c-rem)*base
+	return lo, lo + base
+}
+
+// VMCell returns the cell owning VM id. VM IDs are 1-based (the
+// simulator assigns them in arrival order), so VM 1 lands on cell 0.
+func (p Partition) VMCell(id int64) int {
+	if id < 1 {
+		panic(fmt.Sprintf("cell: VM id %d < 1", id))
+	}
+	return int((id - 1) % int64(p.Cells))
+}
+
+// SeedFor derives a per-cell RNG seed from the run seed, mirroring the
+// sweep runner's (scheme, seed) construction: the stream a cell draws
+// is a function of (seed, cellID) only, never of scheduling order, so
+// per-cell workload slices are reproducible independently of how cells
+// interleave. The mix is SplitMix64's finalizer over the golden-ratio
+// stride — cheap, stateless, and avalanching, so adjacent cell IDs get
+// uncorrelated streams even for seed 0.
+func SeedFor(seed int64, cellID int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(cellID+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

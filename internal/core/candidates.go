@@ -348,7 +348,7 @@ func searchInt32(s []int32, v int32) (int, bool) {
 func (x *candIndex) bestArrival(vm *cluster.VM, k int) *cluster.PM {
 	sh := x.shapeFor(vm.Demand)
 	if sh.nonEmpty > k {
-		x.ctx.Obs.Add("core.sparse_shape_overflow", 1)
+		x.ctx.Obs.AddScoped("core.sparse_shape_overflow", 1)
 	}
 	tre := vm.RemainingEstimate(x.ctx.Now)
 	var best *cluster.PM

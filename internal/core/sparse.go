@@ -144,7 +144,7 @@ func NewSparseMatrix(ctx *Context, factors []Factor, vms []*cluster.VM, opts Mat
 		}
 		sm.shapeCols[si] = append(sm.shapeCols[si], int32(c))
 		if sh.nonEmpty > opts.CandidateK {
-			ctx.Obs.Add("core.sparse_shape_overflow", 1)
+			ctx.Obs.AddScoped("core.sparse_shape_overflow", 1)
 		}
 	}
 

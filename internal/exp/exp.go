@@ -61,6 +61,13 @@ type Options struct {
 	// schemes ignore it.
 	CandidateK int
 
+	// Cells, when > 1, runs every scheme through the sharded multi-cell
+	// engine (sim.Config.Cells): the fleet is partitioned into that many
+	// cells advanced by the shared-clock orchestrator, with decisions —
+	// and therefore results — bit-identical to the monolith. 0 or 1
+	// selects the monolithic engine.
+	Cells int
+
 	// Observe, when set, is called once per simulation run (before it
 	// starts) with the scheme's name and must return that run's private
 	// observability sink, or nil to leave the run uninstrumented. The
@@ -125,6 +132,7 @@ func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, op
 		Placer:   placer,
 		Requests: reqs,
 		Failures: opts.Failures,
+		Cells:    opts.Cells,
 	}
 	if wantSpare && opts.SpareForDynamic {
 		sc := spare.DefaultConfig()

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTracerCellStamp pins the cell-stamp plumbing: SetCell appends a
+// ,"cell":K field immediately before the trailing wall field, ClearCell
+// removes it, and a never-scoped tracer emits no cell field at all.
+func TestTracerCellStamp(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	fixedWall(tr, 42)
+
+	tr.Emit(1, "plain", I("vm", 1))
+	tr.SetCell(3)
+	tr.Emit(2, "stamped", I("vm", 2))
+	tr.ClearCell()
+	tr.Emit(3, "plain-again", I("vm", 3))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d lines, want 3", len(lines))
+	}
+	if strings.Contains(lines[0], `"cell":`) {
+		t.Errorf("unscoped line carries a cell stamp: %s", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], `,"cell":3,"wall":42}`) {
+		t.Errorf("stamped line must end ...,\"cell\":3,\"wall\":42}: %s", lines[1])
+	}
+	if strings.Contains(lines[2], `"cell":`) {
+		t.Errorf("line after ClearCell carries a cell stamp: %s", lines[2])
+	}
+
+	// Cell 0 is a real cell, not "no cell": the stamp must still appear.
+	tr.SetCell(0)
+	tr.Emit(4, "zero")
+	last := strings.TrimSpace(buf.String())
+	last = last[strings.LastIndexByte(last, '\n')+1:]
+	if !strings.HasSuffix(last, `,"cell":0,"wall":42}`) {
+		t.Errorf("cell-0 stamp dropped: %s", last)
+	}
+}
+
+// TestCanonicalLineStripsCellStamp asserts canonicalization removes the
+// cell stamp along with the wall field — the canonical stream is
+// layout-independent — while leaving user payloads that merely look
+// like a cell field untouched.
+func TestCanonicalLineStripsCellStamp(t *testing.T) {
+	in := []byte(`{"v":1,"seq":0,"t":0,"event":"boot","pm":3,"cell":2,"wall":123}` + "\n")
+	want := `{"v":1,"seq":0,"t":0,"event":"boot","pm":3}`
+	if got := string(CanonicalLine(in)); got != want {
+		t.Errorf("canonical = %s, want %s", got, want)
+	}
+	// No stamp: only the wall field goes (the pre-cell format).
+	plain := []byte(`{"v":1,"seq":1,"t":0,"event":"x","wall":9}`)
+	if got := string(CanonicalLine(plain)); got != `{"v":1,"seq":1,"t":0,"event":"x"}` {
+		t.Errorf("plain canonical = %s", got)
+	}
+	// A "cell" with a non-numeric value is user data, not our stamp.
+	odd := []byte(`{"v":1,"seq":2,"t":0,"event":"x","cell":"a1","wall":9}`)
+	if got := string(CanonicalLine(odd)); got != `{"v":1,"seq":2,"t":0,"event":"x","cell":"a1"}` {
+		t.Errorf("string-valued cell stripped: %s", got)
+	}
+}
+
+// TestEmitRejectsReservedCellKey pins "cell" as a reserved field name:
+// handlers must not collide with the tracer-owned stamp.
+func TestEmitRejectsReservedCellKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Emit accepted a user field named \"cell\"")
+		}
+	}()
+	tr := NewTracer(&bytes.Buffer{})
+	tr.Emit(0, "x", I("cell", 1))
+}
+
+// TestObserverCellScope pins the observer-level scope: EnterCell routes
+// the scope to AddScoped (base counter plus a @cellK twin) and to the
+// tracer; LeaveCell ends it; a zero-valued Observer literal reports no
+// scope and AddScoped degrades to a plain Add.
+func TestObserverCellScope(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewTracing(&buf)
+
+	o.AddScoped("x.events", 2) // unscoped: base only
+	o.EnterCell(1)
+	if c, ok := o.CellScope(); !ok || c != 1 {
+		t.Fatalf("CellScope = (%d,%v), want (1,true)", c, ok)
+	}
+	o.AddScoped("x.events", 3) // scoped: base + @cell1
+	o.LeaveCell()
+	if _, ok := o.CellScope(); ok {
+		t.Fatal("scope survives LeaveCell")
+	}
+	o.AddScoped("x.events", 5) // unscoped again
+
+	if got := o.Reg.Counter("x.events").Value(); got != 10 {
+		t.Errorf("base counter = %d, want 10", got)
+	}
+	if got := o.Reg.Counter("x.events@cell1").Value(); got != 3 {
+		t.Errorf("@cell1 counter = %d, want 3", got)
+	}
+
+	// The scope reached the tracer too.
+	o.EnterCell(2)
+	o.Trace.Emit(1, "scoped")
+	o.LeaveCell()
+	if !bytes.Contains(buf.Bytes(), []byte(`,"cell":2,`)) {
+		t.Errorf("EnterCell did not stamp the tracer: %s", buf.String())
+	}
+
+	// A literal-constructed Observer must behave as unscoped, not as
+	// "scoped to cell 0" — the internal offset guards the zero value.
+	var lit Observer
+	if _, ok := lit.CellScope(); ok {
+		t.Fatal("zero-valued Observer reports a cell scope")
+	}
+	lit.EnterCell(0)
+	if c, ok := lit.CellScope(); !ok || c != 0 {
+		t.Fatalf("EnterCell(0) scope = (%d,%v), want (0,true)", c, ok)
+	}
+	lit.LeaveCell() // nil Reg/Trace: must not panic
+}

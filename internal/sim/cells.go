@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// This file is the multi-cell engine: Config.Cells > 1 partitions the
+// fleet into C cells, each owning its own calendar queue, and a
+// shared-clock orchestrator (internal/cell) advances them in global
+// (at, seq) order. The per-cell engines share ONE sequence counter, so
+// the merged order is not merely "a" deterministic order — it is the
+// exact order the monolithic engine produces for the same run, which is
+// what the cell-differential golden battery asserts byte-for-byte.
+//
+// Events are routed to cells by their snapshot tag: VM-lifecycle events
+// follow the VM's cell ((id-1) mod C), PM-lifecycle events follow the
+// PM's contiguous ID range, and the control tick — a global concern —
+// lives on cell 0. Cross-cell work (the global spare budget, failure
+// injection's single RNG stream, consolidation moves that cross a cell
+// boundary) happens inside handlers fired from the orchestrator step,
+// never by one cell reaching into another's queue.
+
+// scheduler is the engine seam the simulation layer drives. Both the
+// monolithic *Engine and the sharded multi-cell engine satisfy it; the
+// simulator neither knows nor cares which it got, and with Cells <= 1
+// it gets a plain *Engine — the exact pre-cell code path.
+type scheduler interface {
+	Now() float64
+	Dispatched() uint64
+	Pending() int
+	Step() bool
+	ScheduleTag(at float64, tag Tag, fire func()) Event
+	VerifyQueue() error
+	SnapshotState() (EngineState, error)
+	RestoreState(st EngineState, rebuild func(QueuedEvent) func()) ([]Event, error)
+}
+
+// newScheduler builds the engine for a run: monolithic for cells <= 1,
+// sharded otherwise. fleet is the PM count (cells must already be
+// validated against it by Config.setDefaults).
+func newScheduler(cells, fleet int, o *obs.Observer) scheduler {
+	if cells <= 1 {
+		return &Engine{}
+	}
+	part, err := cell.NewPartition(cells, fleet)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err)) // unreachable: setDefaults validated
+	}
+	sh := &shardedEngine{part: part, obs: o}
+	sh.cells = make([]*Engine, cells)
+	queues := make([]cell.Queue, cells)
+	for i := range sh.cells {
+		e := &Engine{}
+		e.UseSharedSeq(&sh.seqCtr)
+		sh.cells[i] = e
+		queues[i] = e
+	}
+	sh.orch = cell.NewOrchestrator(queues)
+	return sh
+}
+
+// shardedEngine is C per-cell calendar queues behind one scheduler
+// facade. The global clock, dispatch count, and sequence counter live
+// here; each cell engine's local clock lags the global one (it only
+// advances when that cell fires) and its local seq counter is unused.
+type shardedEngine struct {
+	part  cell.Partition
+	cells []*Engine
+	orch  *cell.Orchestrator
+	obs   *obs.Observer
+
+	now        float64
+	seqCtr     uint64
+	dispatched uint64
+
+	// restoreDisp carries per-cell dispatch counts from a same-C
+	// checkpoint into RestoreState (nil on a cross-C re-shard restore,
+	// where per-cell attribution restarts at zero).
+	restoreDisp []uint64
+}
+
+// route maps an event tag to its owning cell. VM events follow the VM,
+// PM events follow the PM, and the control tick anchors on cell 0.
+func (sh *shardedEngine) route(tag Tag) int {
+	switch tag.Kind {
+	case evArrival, evCreationDone, evDeparture, evMigCutover:
+		return sh.part.VMCell(tag.Arg)
+	case evBootDone, evShutdownDone, evFailure, evRepaired:
+		return sh.part.PMCell(int(tag.Arg))
+	default: // evControlTick and anything untagged-adjacent
+		return 0
+	}
+}
+
+func (sh *shardedEngine) Now() float64 { return sh.now }
+
+func (sh *shardedEngine) Dispatched() uint64 { return sh.dispatched }
+
+func (sh *shardedEngine) Pending() int {
+	n := 0
+	for _, e := range sh.cells {
+		n += e.Pending()
+	}
+	return n
+}
+
+// ScheduleTag routes the event to its cell's queue. The past-check runs
+// against the GLOBAL clock: a cell's local clock lags it, so the
+// per-cell engine alone could not reject an event that is in the global
+// past but that cell's local future.
+func (sh *shardedEngine) ScheduleTag(at float64, tag Tag, fire func()) Event {
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, sh.now))
+	}
+	return sh.cells[sh.route(tag)].ScheduleTag(at, tag, fire)
+}
+
+// Step fires the globally next event: peek every cell, advance the
+// shared clock to the minimum (at, seq), and dispatch it inside that
+// cell with the observer's cell scope set (trace events emitted by the
+// handler carry the cell ID; scoped counters double-book per cell).
+func (sh *shardedEngine) Step() bool {
+	at, _, ci, ok := sh.orch.Peek()
+	if !ok {
+		return false
+	}
+	sh.now = at
+	sh.dispatched++
+	if sh.obs != nil {
+		sh.obs.EnterCell(ci)
+	}
+	stepped := sh.cells[ci].Step()
+	if sh.obs != nil {
+		sh.obs.LeaveCell()
+	}
+	if !stepped {
+		panic(fmt.Sprintf("sim: cell %d peeked an event but had none to fire", ci))
+	}
+	return true
+}
+
+// VerifyQueue runs every cell's structural check, then the cross-cell
+// invariants: each resident event routes to the cell holding it, no
+// sequence number appears twice, none exceeds the shared counter, and
+// nothing is queued before the global clock. O(pending); used by the
+// auditor's per-event queue check like the monolith's VerifyQueue.
+func (sh *shardedEngine) VerifyQueue() error {
+	seen := make(map[uint64]struct{})
+	for ci, e := range sh.cells {
+		if err := e.VerifyQueue(); err != nil {
+			return fmt.Errorf("sim: cell %d: %w", ci, err)
+		}
+		for i := range e.buckets {
+			for rec := e.buckets[i].head; rec != nil; rec = rec.next {
+				if rec.tag.Kind != 0 {
+					if want := sh.route(rec.tag); want != ci {
+						return fmt.Errorf("sim: event (kind %d, arg %d) resident in cell %d, routes to %d",
+							rec.tag.Kind, rec.tag.Arg, ci, want)
+					}
+				}
+				if rec.seq > sh.seqCtr {
+					return fmt.Errorf("sim: cell %d holds seq %d beyond shared counter %d", ci, rec.seq, sh.seqCtr)
+				}
+				if _, dup := seen[rec.seq]; dup {
+					return fmt.Errorf("sim: seq %d is live in two cells", rec.seq)
+				}
+				seen[rec.seq] = struct{}{}
+				if rec.at < sh.now {
+					return fmt.Errorf("sim: cell %d holds event at t=%g before global now %g", ci, rec.at, sh.now)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SnapshotState merges every cell's pending events into one (At, Seq)-
+// sorted list under the global clock and counters. The result is
+// cell-agnostic — identical to what the monolith would snapshot at the
+// same event boundary — which is what lets a C=8 checkpoint restore
+// into any other cell count: RestoreState re-derives each event's cell
+// from its tag under the TARGET partition.
+func (sh *shardedEngine) SnapshotState() (EngineState, error) {
+	var evs []QueuedEvent
+	for ci, e := range sh.cells {
+		ce, err := e.SnapshotEvents()
+		if err != nil {
+			return EngineState{}, fmt.Errorf("sim: cell %d: %w", ci, err)
+		}
+		evs = append(evs, ce...)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	return EngineState{Now: sh.now, Seq: sh.seqCtr, Dispatched: sh.dispatched, Events: evs}, nil
+}
+
+// cellDispatched returns each cell's dispatch count (the snapshot's
+// per-cell section).
+func (sh *shardedEngine) cellDispatched() []uint64 {
+	out := make([]uint64, len(sh.cells))
+	for i, e := range sh.cells {
+		out[i] = e.Dispatched()
+	}
+	return out
+}
+
+// setRestoreDispatched stages per-cell dispatch counts for the next
+// RestoreState. They only apply when the snapshot's cell count matches
+// this engine's — the documented re-shard path (any other C, including
+// a monolith snapshot) restores per-cell attribution from zero while
+// the global count is preserved.
+func (sh *shardedEngine) setRestoreDispatched(snapshotCells int, disp []uint64) {
+	if snapshotCells == sh.part.Cells && len(disp) == sh.part.Cells {
+		sh.restoreDisp = disp
+	} else {
+		sh.restoreDisp = nil
+	}
+}
+
+// RestoreState loads a (cell-agnostic) engine snapshot: events are
+// partitioned by routing tag under THIS engine's cell count, re-armed
+// with their original sequence numbers, and the returned handles are
+// index-aligned with st.Events exactly like the monolith's RestoreState.
+func (sh *shardedEngine) RestoreState(st EngineState, rebuild func(QueuedEvent) func()) ([]Event, error) {
+	if sh.seqCtr != 0 || sh.dispatched != 0 || sh.Pending() != 0 {
+		return nil, fmt.Errorf("sim: RestoreState on a used sharded engine (seq=%d, pending=%d)", sh.seqCtr, sh.Pending())
+	}
+	perEv := make([][]QueuedEvent, len(sh.cells))
+	perIdx := make([][]int, len(sh.cells))
+	for i, ev := range st.Events {
+		if ev.Tag.Kind == 0 {
+			return nil, fmt.Errorf("sim: event %d has zero tag kind", i)
+		}
+		c := sh.route(ev.Tag)
+		perEv[c] = append(perEv[c], ev)
+		perIdx[c] = append(perIdx[c], i)
+	}
+	handles := make([]Event, len(st.Events))
+	for c, e := range sh.cells {
+		var disp uint64
+		if sh.restoreDisp != nil {
+			disp = sh.restoreDisp[c]
+		}
+		hs, err := e.RestoreState(EngineState{Now: st.Now, Seq: st.Seq, Dispatched: disp, Events: perEv[c]}, rebuild)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cell %d: %w", c, err)
+		}
+		for j, h := range hs {
+			handles[perIdx[c][j]] = h
+		}
+	}
+	sh.now = st.Now
+	sh.seqCtr = st.Seq
+	sh.dispatched = st.Dispatched
+	sh.restoreDisp = nil
+	return handles, nil
+}
+
+// cellPartition exposes the partition when the run is sharded, for the
+// simulation layer's per-cell gauges and cross-cell migration counters.
+func (s *simulator) cellPartition() (cell.Partition, bool) {
+	if sh, ok := s.eng.(*shardedEngine); ok {
+		return sh.part, true
+	}
+	return cell.Partition{}, false
+}
+
+// cellGauges publishes per-cell active-PM gauges at control ticks.
+// Registry-only diagnostics: gauges are outside the determinism
+// contract, so the monolith's trace is unaffected.
+func (s *simulator) cellGauges() {
+	part, ok := s.cellPartition()
+	if !ok || s.cfg.Obs == nil {
+		return
+	}
+	counts := make([]int, part.Cells)
+	for _, pm := range s.dc.PMs() {
+		if pm.State == cluster.PMOn || pm.State == cluster.PMBooting {
+			counts[part.PMCell(int(pm.ID))]++
+		}
+	}
+	for c, n := range counts {
+		s.cfg.Obs.SetGauge(fmt.Sprintf("sim.active_pms@cell%d", c), float64(n))
+	}
+}
+
+// countCellMoves splits executed migrations into intra- and cross-cell
+// counters — the orchestrator-level view of how much consolidation
+// traffic crosses cell boundaries. Counters only; trace untouched.
+func (s *simulator) countCellMoves(moves []core.Move) {
+	part, ok := s.cellPartition()
+	if !ok || s.cfg.Obs == nil {
+		return
+	}
+	var intra, cross int64
+	for _, mv := range moves {
+		if part.PMCell(int(mv.From)) == part.PMCell(int(mv.To)) {
+			intra++
+		} else {
+			cross++
+		}
+	}
+	if intra > 0 {
+		s.cfg.Obs.Add("sim.migrations_intra_cell", intra)
+	}
+	if cross > 0 {
+		s.cfg.Obs.Add("sim.migrations_cross_cell", cross)
+	}
+}

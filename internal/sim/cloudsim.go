@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/audit"
+	"repro/internal/cell"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/failure"
@@ -77,6 +78,14 @@ type Config struct {
 	// race-free but sums them into a single pool.
 	Obs *obs.Observer
 
+	// Cells partitions the fleet into this many cells, each with its own
+	// calendar queue, advanced in global (at, seq) order by the
+	// shared-clock orchestrator (internal/cell; DESIGN.md §14). 0 or 1
+	// runs the monolithic engine — the exact single-cell code path. Any
+	// C produces bit-identical results and canonical traces: sharding
+	// changes how the event queue is stored, never what fires when.
+	Cells int
+
 	// CheckInvariants validates the full datacenter state after every
 	// event; slow, meant for tests. Predates the audit subsystem and
 	// kept independent of it: audit.Off with CheckInvariants still
@@ -114,6 +123,14 @@ func (c *Config) setDefaults() error {
 	}
 	if c.WarmStart < 0 || c.WarmStart > c.DC.Size() {
 		return fmt.Errorf("sim: warm start %d outside fleet size %d", c.WarmStart, c.DC.Size())
+	}
+	if c.Cells < 0 {
+		return fmt.Errorf("sim: negative cell count %d", c.Cells)
+	}
+	if c.Cells > 1 {
+		if _, err := cell.NewPartition(c.Cells, c.DC.Size()); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	if err := c.Failures.Validate(); err != nil {
 		return err
@@ -229,6 +246,7 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
+	s.eng = newScheduler(cfg.Cells, cfg.DC.Size(), cfg.Obs)
 	s.pctx = core.NewContext(s.dc)
 	s.start()
 	return &Sim{s: s}, nil
@@ -255,7 +273,7 @@ func (m *Sim) Finish() (*Result, error) { return m.s.finish() }
 // simulator holds one run's mutable state.
 type simulator struct {
 	cfg *Config
-	eng Engine
+	eng scheduler
 	dc  *cluster.Datacenter
 
 	meter *power.Meter
@@ -791,6 +809,7 @@ func (s *simulator) onControlTick() {
 
 	s.cfg.Obs.SetGauge("sim.active_pms", float64(s.dc.ActiveCount()))
 	s.cfg.Obs.SetGauge("sim.queue_len", float64(len(s.queue)))
+	s.cellGauges()
 	if s.tracing {
 		s.emit("tick", obs.I("active", int64(s.dc.ActiveCount())),
 			obs.F("util", s.meanNonIdleUtilization()), obs.I("queue", int64(len(s.queue))))
@@ -941,6 +960,7 @@ func (s *simulator) consolidate() {
 	}
 	s.res.Moves = append(s.res.Moves, moves...)
 	s.cMigrates.Add(int64(len(moves)))
+	s.countCellMoves(moves)
 	for _, mv := range moves {
 		if s.tracing {
 			s.emit("migration", obs.I("vm", int64(mv.VM)), obs.I("from", int64(mv.From)),

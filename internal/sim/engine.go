@@ -151,6 +151,15 @@ type Engine struct {
 
 	free *record
 
+	// seqShared, when set, replaces the engine-local seq counter with a
+	// counter shared by several engines. The sharded multi-cell engine
+	// points every per-cell Engine at one counter so sequence numbers are
+	// unique ACROSS cells — which is what makes the orchestrator's merged
+	// (at, seq) order identical to the order one monolithic engine would
+	// have produced (DESIGN.md §14). nil (the default) keeps the local
+	// counter; a single engine's behavior is unchanged.
+	seqShared *uint64
+
 	// hist is the ring of recent dispatch timestamps feeding the adaptive
 	// width estimator at resize time.
 	hist    [histN]float64
@@ -201,9 +210,8 @@ func (e *Engine) schedule(at float64, tag Tag, fire func()) Event {
 		e.initQueue()
 	}
 	rec := e.alloc()
-	e.seq++
 	rec.at = at
-	rec.seq = e.seq
+	rec.seq = e.nextSeq()
 	rec.g = e.gFor(at)
 	rec.fire = fire
 	rec.tag = tag
@@ -213,6 +221,27 @@ func (e *Engine) schedule(at float64, tag Tag, fire func()) Event {
 		e.resize(2 * len(e.buckets))
 	}
 	return Event{rec: rec, seq: rec.seq, at: at}
+}
+
+// nextSeq mints the next sequence number from the shared counter when
+// one is attached, else from the engine's own.
+func (e *Engine) nextSeq() uint64 {
+	if e.seqShared != nil {
+		*e.seqShared++
+		return *e.seqShared
+	}
+	e.seq++
+	return e.seq
+}
+
+// UseSharedSeq attaches a shared sequence counter. It must be called
+// before the first Schedule — re-seating the counter mid-run would let
+// two live events carry the same sequence number.
+func (e *Engine) UseSharedSeq(ctr *uint64) {
+	if e.seq != 0 || e.count != 0 || e.dispatched != 0 {
+		panic("sim: UseSharedSeq on a used engine")
+	}
+	e.seqShared = ctr
 }
 
 // ScheduleAfter queues fire to run d seconds from now.
@@ -240,6 +269,27 @@ func (e *Engine) Step() bool {
 	fire()
 	return true
 }
+
+// HasPendingEvents reports whether any live event is queued. Together
+// with PeekNextEventTime and ProcessNextEvent it is the cell.Queue
+// decomposition of the engine, which the multi-cell orchestrator merges.
+func (e *Engine) HasPendingEvents() bool { return e.count > 0 }
+
+// PeekNextEventTime returns the (at, seq) ordering key of the next event
+// to fire without dispatching it. ok is false when the queue is empty.
+// Peeking may advance the extraction cursor (search state only); it
+// never changes dispatch order.
+func (e *Engine) PeekNextEventTime() (at float64, seq uint64, ok bool) {
+	rec := e.minRecord()
+	if rec == nil {
+		return 0, 0, false
+	}
+	return rec.at, rec.seq, true
+}
+
+// ProcessNextEvent dispatches the next event, returning false when the
+// queue is empty. It is Step under the cell.Queue interface's name.
+func (e *Engine) ProcessNextEvent() bool { return e.Step() }
 
 // Run dispatches events until the queue is empty.
 func (e *Engine) Run() {

@@ -109,6 +109,18 @@ type simState struct {
 	ActivePMs   []float64                `json:"active_pms,omitempty"`
 	MeanUtil    []float64                `json:"mean_util,omitempty"`
 	TraceSeq    uint64                   `json:"trace_seq"`
+
+	// Per-cell sections, present only when the run was sharded
+	// (Config.Cells > 1). The engine events themselves are stored
+	// cell-agnostically (merged, sorted by (At, Seq)) so a snapshot can
+	// restore into ANY cell count — the target config's partition
+	// re-derives each event's cell from its routing tag. These sections
+	// carry only the per-cell diagnostic attribution: when the restoring
+	// config's cell count matches Cells, each cell's dispatch counter
+	// resumes; otherwise (the re-shard path) per-cell attribution
+	// restarts at zero while the global Engine.Dispatched is preserved.
+	Cells          int      `json:"cells,omitempty"`
+	CellDispatched []uint64 `json:"cell_dispatched,omitempty"`
 }
 
 // meta fingerprints the run configuration for snapshot compatibility.
@@ -222,6 +234,10 @@ func (s *simulator) captureState() (*simState, error) {
 	} else {
 		st.TraceSeq = s.traceSeq0
 	}
+	if sh, ok := s.eng.(*shardedEngine); ok {
+		st.Cells = sh.part.Cells
+		st.CellDispatched = sh.cellDispatched()
+	}
 	return st, nil
 }
 
@@ -241,6 +257,7 @@ func Restore(cfg Config, r io.Reader) (*Sim, error) {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
+	s.eng = newScheduler(cfg.Cells, cfg.DC.Size(), cfg.Obs)
 	s.pctx = core.NewContext(s.dc)
 	if err := f.CheckMeta(s.meta()); err != nil {
 		return nil, err
@@ -383,7 +400,14 @@ func (s *simulator) restore(st *simState) error {
 
 	// Finally the event queue: rebuild each tagged event's callback over
 	// the restored objects, then re-arm the cancellation maps from the
-	// returned handles.
+	// returned handles. A sharded engine re-derives every event's cell
+	// from its routing tag under the CURRENT config's partition, so a
+	// snapshot written at one cell count restores into any other (the
+	// re-shard path); per-cell dispatch attribution carries over only
+	// when the counts match.
+	if sh, ok := s.eng.(*shardedEngine); ok {
+		sh.setRestoreDispatched(st.Cells, st.CellDispatched)
+	}
 	handles, err := s.eng.RestoreState(st.Engine, func(ev QueuedEvent) func() {
 		switch ev.Tag.Kind {
 		case evArrival:
