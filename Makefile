@@ -93,11 +93,13 @@ bench-smoke:
 
 ## check: the full pre-commit gate — vet, the race-enabled test suite
 ## (covers the lock-free metrics hot path, the parallel experiment
-## harness, and the multi-cell engine in internal/sim, internal/cell,
-## and internal/exp), the full-trace audit run, the sparse-vs-dense
-## differential gate, the checkpoint/resume crash-safety gate, the
-## multi-cell differential gate, a fuzz smoke test, and a one-iteration
-## pass over the kernel benchmarks.
+## harness, the multi-cell engine in internal/sim, internal/cell, and
+## internal/exp, and the parallel placement kernels in internal/core —
+## the worker-pool fan-outs behind MatrixOptions.Workers run under the
+## race detector at explicit worker counts), the full-trace audit run,
+## the sparse-vs-dense differential gate, the checkpoint/resume
+## crash-safety gate, the multi-cell differential gate, a fuzz smoke
+## test, and a one-iteration pass over the kernel benchmarks.
 check: vet race audit sparse-audit resume-audit cells-audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
@@ -119,9 +121,12 @@ bench-paper:
 ## events), BENCH_sweep.json (replication-sweep runs/sec at 1/2/4/8
 ## workers, merged reports asserted byte-identical across worker counts),
 ## and BENCH_scale.json (dense vs sparse candidate-set placement on
-## build / round / arrival at 100 / 1k / 10k PMs, plus the multi-cell
-## engine curve at 1/4/16/64 cells over a 10k-PM fleet — both
-## equivalence-gated).
+## build / round / arrival at 100 / 1k / 10k PMs, the kernel-workers
+## curve at 1/2/4/8 workers over a 1k-PM fleet, a sparse-only 100k-PM
+## point, and the multi-cell engine curve at 1/4/16/64 cells over a
+## 10k-PM fleet — all equivalence-gated: every parallel or sharded
+## result is asserted bit-identical to its serial baseline before any
+## timing is recorded).
 bench-json:
 	$(GO) run ./cmd/benchreport -sizes 100,1000 -o BENCH_core.json \
 		-engine-o BENCH_engine.json -sweep-o BENCH_sweep.json \

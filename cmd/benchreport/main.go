@@ -42,7 +42,9 @@
 //	            [-scale-o BENCH_scale.json] [-sizes 100,1000]
 //	            [-events 10000,100000,1000000] [-sweep-workers 1,2,4,8]
 //	            [-scale-sizes 100,1000,10000] [-scale-k 64]
-//	            [-cell-counts 1,4,16,64] [-cell-pms 10000] [-benchtime 300ms]
+//	            [-cell-counts 1,4,16,64] [-cell-pms 10000]
+//	            [-kernel-workers-list 1,2,4,8] [-kernel-workers-pms 1000]
+//	            [-large-pms 100000] [-benchtime 300ms]
 //	benchreport -diff old.json new.json [-threshold 0.2]
 package main
 
@@ -64,8 +66,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/policy"
 	"repro/internal/sim"
-	"repro/internal/spare"
 	"repro/internal/sim/schedheap"
+	"repro/internal/spare"
 	"repro/internal/stats"
 	"repro/internal/vector"
 	"repro/internal/workload"
@@ -158,6 +160,9 @@ func run(args []string, out io.Writer) error {
 		scaleK      = fs.Int("scale-k", 64, "candidate budget K for the scale suite's sparse side")
 		cellCounts  = fs.String("cell-counts", "1,4,16,64", "comma-separated cell counts for the scale suite's multi-cell curve")
 		cellPMs     = fs.Int("cell-pms", 10000, "fleet size for the multi-cell curve's end-to-end runs")
+		kwList      = fs.String("kernel-workers-list", "1,2,4,8", "comma-separated kernel worker counts for the scale suite's parallelism curve")
+		kwPMs       = fs.Int("kernel-workers-pms", 1000, "fleet size for the kernel-workers curve")
+		largePMs    = fs.Int("large-pms", 100000, "fleet size for the sparse-only large scale point (0 disables it)")
 		benchtime   = fs.Duration("benchtime", 300*time.Millisecond, "minimum measuring time per case")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -187,7 +192,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *suite == "all" || *suite == "scale" {
-		if err := runScaleSuite(out, *scalePath, *scaleSizes, *scaleK, *cellCounts, *cellPMs, *benchtime); err != nil {
+		if err := runScaleSuite(out, *scalePath, *scaleSizes, *scaleK, *cellCounts, *cellPMs, *kwList, *kwPMs, *largePMs, *benchtime); err != nil {
 			return err
 		}
 	}
@@ -386,10 +391,34 @@ type ScaleReport struct {
 	Generated   string       `json:"generated"`
 	Benchtime   string       `json:"benchtime"`
 	K           int          `json:"k"`
+	CPUs        int          `json:"cpus"`
 	Scales      []ScalePoint `json:"scales"`
 	CellPMs     int          `json:"cell_pms"`
 	CellVMs     int          `json:"cell_vms"`
 	CellCurve   []CellPoint  `json:"cells"`
+
+	// KernelWorkersPMs is the fixed fleet size the kernel-workers curve
+	// runs on; WorkersCurve is that curve (one point per worker count).
+	KernelWorkersPMs int           `json:"kernel_workers_pms"`
+	WorkersCurve     []WorkerPoint `json:"kernel_workers"`
+}
+
+// WorkerPoint is one MatrixOptions.Workers setting's cost on the fixed
+// fleet: dense build, sparse build, and a full steady-state consolidation
+// pass. Every parallel point's results — matrices cell-for-cell, move
+// streams move-for-move — are asserted identical to the workers=1 run
+// before anything is timed, so the curve can only ever show scheduling
+// cost, never a behavior change. On a single-core host the curve is flat
+// by physics (the report records cpus for exactly that reason); the
+// equivalence gate still exercises the real parallel code paths, because
+// explicit worker counts spawn their goroutines regardless of cores.
+type WorkerPoint struct {
+	Workers         int     `json:"workers"`
+	BuildNsOp       float64 `json:"build_ns_op"`
+	SparseBuildNsOp float64 `json:"sparse_build_ns_op"`
+	PassNsOp        float64 `json:"consolidate_ns_op"`
+	Speedup         float64 `json:"speedup_vs_w1"`
+	Iters           int     `json:"iters"`
 }
 
 // ScalePoint holds one fleet size's dense-vs-sparse measurements.
@@ -437,7 +466,7 @@ func newScaleMeasure(d, s sample) ScaleMeasure {
 	return m
 }
 
-func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, cellCountsFlag string, cellPMs int, benchtime time.Duration) error {
+func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, cellCountsFlag string, cellPMs int, kwCountsFlag string, kwPMs, largePMs int, benchtime time.Duration) error {
 	sizes, err := parseSizes(sizesFlag)
 	if err != nil {
 		return err
@@ -454,16 +483,31 @@ func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, cellCountsFl
 			return fmt.Errorf("-cell-counts entry %d exceeds -cell-pms %d: every cell needs at least one PM", c, cellPMs)
 		}
 	}
+	kwCounts, err := parseWorkers(kwCountsFlag)
+	if err != nil {
+		return fmt.Errorf("-kernel-workers-list: %w", err)
+	}
+	if kwPMs < 2 {
+		return fmt.Errorf("-kernel-workers-pms must be at least 2 (got %d)", kwPMs)
+	}
+	if largePMs < 0 {
+		return fmt.Errorf("-large-pms must be >= 0 (got %d)", largePMs)
+	}
 	rep := ScaleReport{
 		Description: "sparse candidate-set engine (MatrixOptions.CandidateK) vs dense kernel: " +
 			"matrix build, per-round incremental update (one Apply), arrival placement; " +
 			"decisions asserted identical before timing. cells[] is the multi-cell " +
 			"engine's end-to-end curve on the fixed bench scenario, every cell count's " +
-			"Result asserted identical to the monolith's",
+			"Result asserted identical to the monolith's. kernel_workers[] is the " +
+			"in-run parallelism curve (MatrixOptions.Workers), every point's matrices " +
+			"and move streams asserted bit-identical to workers=1 before timing; the " +
+			"largest scales[] point is sparse-only (a dense matrix at that size would " +
+			"not fit in memory), gated by a parallel-vs-serial sparse build diff",
 		Go:        runtime.Version(),
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Benchtime: benchtime.String(),
 		K:         k,
+		CPUs:      runtime.NumCPU(),
 		CellPMs:   cellPMs,
 	}
 	for _, pms := range sizes {
@@ -473,10 +517,239 @@ func runScaleSuite(out io.Writer, outPath, sizesFlag string, k int, cellCountsFl
 		}
 		rep.Scales = append(rep.Scales, sc)
 	}
+	if largePMs > 0 {
+		sc, err := measureLargeScalePoint(out, largePMs, 2*largePMs, k, benchtime)
+		if err != nil {
+			return err
+		}
+		rep.Scales = append(rep.Scales, sc)
+	}
+	if err := measureWorkersCurve(out, &rep, kwCounts, kwPMs, k, benchtime); err != nil {
+		return err
+	}
 	if err := measureCellCurve(out, &rep, counts, cellPMs, k, benchtime); err != nil {
 		return err
 	}
 	return writeJSON(out, outPath, rep)
+}
+
+// measureWorkersCurve times the parallel kernels at each worker count on
+// one fixed fleet. Gate first: the dense matrix, the sparse matrix, and a
+// full consolidation move stream at every count must be bit-identical to
+// the workers=1 run; only then is anything timed.
+func measureWorkersCurve(out io.Writer, rep *ScaleReport, counts []int, pms, k int, benchtime time.Duration) error {
+	factors := core.DefaultFactors()
+	params := core.DefaultParams()
+	const seed = 7
+	nVMs := 2 * pms
+	rep.KernelWorkersPMs = pms
+
+	ctx, vms := benchState(pms, nVMs, seed)
+	denseRef, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{Workers: 1})
+	if err != nil {
+		return err
+	}
+	sparseRef, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k, Workers: 1})
+	if err != nil {
+		return err
+	}
+	ctxRef, _ := benchState(pms, nVMs, seed)
+	movesRef, err := core.ConsolidateWith(ctxRef, factors, params, core.MatrixOptions{Workers: 1})
+	if err != nil {
+		return err
+	}
+	for _, w := range counts {
+		if w == 1 {
+			continue
+		}
+		opts := core.MatrixOptions{Workers: w}
+		dm, err := core.NewMatrixWith(ctx, factors, vms, opts)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		err = denseRef.Diff(dm)
+		dm.Release()
+		if err != nil {
+			return fmt.Errorf("workers=%d: dense build diverges from serial (equivalence violated): %w", w, err)
+		}
+		sm, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k, Workers: w})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if err := sparseRef.DiffSparse(sm); err != nil {
+			return fmt.Errorf("workers=%d: sparse build diverges from serial (equivalence violated): %w", w, err)
+		}
+		ctxW, _ := benchState(pms, nVMs, seed)
+		moves, err := core.ConsolidateWith(ctxW, factors, params, opts)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if len(moves) != len(movesRef) {
+			return fmt.Errorf("workers=%d: consolidation emitted %d moves, serial %d (equivalence violated)", w, len(moves), len(movesRef))
+		}
+		for i := range moves {
+			if moves[i] != movesRef[i] {
+				return fmt.Errorf("workers=%d: move %d is %+v, serial %+v (equivalence violated)", w, i, moves[i], movesRef[i])
+			}
+		}
+	}
+	denseRef.Release()
+
+	var base float64
+	for _, w := range counts {
+		opts := core.MatrixOptions{Workers: w}
+		d, err := measure(benchtime, func() error {
+			m, err := core.NewMatrixWith(ctx, factors, vms, opts)
+			if err != nil {
+				return err
+			}
+			m.Release()
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		s, err := measure(benchtime, func() error {
+			_, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k, Workers: w})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		// Settle once so the timed passes are steady-state evaluation,
+		// then time the full consolidation pass.
+		ctxW, _ := benchState(pms, nVMs, seed)
+		if _, err := core.ConsolidateWith(ctxW, factors, params, opts); err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		p, err := measure(benchtime, func() error {
+			_, err := core.ConsolidateWith(ctxW, factors, params, opts)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		pt := WorkerPoint{
+			Workers:         w,
+			BuildNsOp:       d.nsPerOp,
+			SparseBuildNsOp: s.nsPerOp,
+			PassNsOp:        p.nsPerOp,
+			Iters:           d.iters,
+		}
+		if base == 0 {
+			base = d.nsPerOp
+		}
+		pt.Speedup = base / d.nsPerOp
+		rep.WorkersCurve = append(rep.WorkersCurve, pt)
+		fmt.Fprintf(out, "workers=%-3d pms=%-6d build %8.2fms  sparse-build %8.2fms  pass %8.2fms  (%.2fx vs workers=%d)\n",
+			w, pms, pt.BuildNsOp/1e6, pt.SparseBuildNsOp/1e6, pt.PassNsOp/1e6, pt.Speedup, counts[0])
+	}
+	return nil
+}
+
+// measureLargeScalePoint is the sparse-only scale point: at 100k PMs a
+// dense matrix (rows x cols float64) would need hundreds of gigabytes, so
+// only the candidate-set engine is measured and the equivalence gate is a
+// parallel-vs-serial sparse comparison instead of a sparse-vs-dense one.
+// The dense fields stay zero, which -diff skips.
+func measureLargeScalePoint(out io.Writer, pms, nVMs, k int, benchtime time.Duration) (ScalePoint, error) {
+	factors := core.DefaultFactors()
+	const seed = 7
+	sc := ScalePoint{PMs: pms}
+	ctx, vms := benchStateLarge(pms, nVMs, seed)
+	sc.VMs = len(vms)
+
+	// Equivalence gate: an explicitly parallel build must match the
+	// serial build tracker-for-tracker before anything is timed.
+	ref, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k, Workers: 1})
+	if err != nil {
+		return sc, err
+	}
+	par, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k, Workers: 4})
+	if err != nil {
+		return sc, err
+	}
+	if err := ref.DiffSparse(par); err != nil {
+		return sc, fmt.Errorf("pms=%d: parallel sparse build diverges from serial (equivalence violated): %w", pms, err)
+	}
+
+	s, err := measure(benchtime, func() error {
+		m, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k})
+		if err != nil {
+			return err
+		}
+		m.Best()
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	sc.Build = ScaleMeasure{SparseNsOp: s.nsPerOp, SparseIters: s.iters}
+
+	// Round: Best + Apply ping-pong on the parallel-built matrix,
+	// mirroring measureScalePoint's sparse round.
+	r, c, _, ok := par.Best()
+	if !ok {
+		return sc, fmt.Errorf("pms=%d: no positive-gain move in the sparse bench state", pms)
+	}
+	host := par.VM(c).Host
+	origin := -1
+	for i := 0; i < par.Rows(); i++ {
+		if par.PM(i).ID == host {
+			origin = i
+			break
+		}
+	}
+	if origin < 0 {
+		return sc, fmt.Errorf("pms=%d: host of best column not in the sparse matrix", pms)
+	}
+	s, err = measure(benchtime, func() error {
+		par.Best()
+		if err := par.Apply(r, c); err != nil {
+			return err
+		}
+		par.Best()
+		return par.Apply(origin, c)
+	})
+	if err != nil {
+		return sc, err
+	}
+	sc.Round = ScaleMeasure{SparseNsOp: halve(s).nsPerOp, SparseIters: s.iters}
+
+	// Arrival: the dense side here is the matrix-free BestPlacement scan
+	// (O(active PMs), affordable at any size), so the usual dense-vs-
+	// sparse decision gate still applies.
+	arrival := cluster.NewVM(cluster.VMID(1<<20), vector.New(2, 1), 5400, 5400, ctx.Now)
+	dPM := core.BestPlacement(ctx, factors, arrival)
+	sPM := core.BestPlacementWith(ctx, factors, arrival, core.MatrixOptions{CandidateK: k})
+	if dPM == nil || dPM != sPM {
+		return sc, fmt.Errorf("pms=%d: sparse arrival PM differs from dense (equivalence violated)", pms)
+	}
+	d, err := measure(benchtime, func() error {
+		if core.BestPlacement(ctx, factors, arrival) == nil {
+			return fmt.Errorf("no placement found")
+		}
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	s, err = measure(benchtime, func() error {
+		if core.BestPlacementWith(ctx, factors, arrival, core.MatrixOptions{CandidateK: k}) == nil {
+			return fmt.Errorf("no placement found")
+		}
+		return nil
+	})
+	if err != nil {
+		return sc, err
+	}
+	sc.Arrival = newScaleMeasure(d, s)
+
+	fmt.Fprintf(out, "pms=%-6d vms=%-6d k=%-3d sparse-only: build %.2fms  round %.1fus  arrival %.2fx (%.1fus vs %.1fus)\n",
+		sc.PMs, sc.VMs, k,
+		sc.Build.SparseNsOp/1e6, sc.Round.SparseNsOp/1e3,
+		sc.Arrival.Speedup, sc.Arrival.DenseNsOp/1e3, sc.Arrival.SparseNsOp/1e3)
+	return sc, nil
 }
 
 // cellBenchTrace is the multi-cell curve's fixed workload: nVMs staggered
@@ -818,6 +1091,38 @@ func benchState(pmCount, nVMs int, seed int64) (*core.Context, []*cluster.VM) {
 		}
 		if !placed {
 			continue
+		}
+		vm.State = cluster.VMRunning
+		vm.StartTime = float64(rng.Intn(7000))
+		vms = append(vms, vm)
+	}
+	return core.NewContext(dc).At(7200), vms
+}
+
+// benchStateLarge is benchState with round-robin placement instead of
+// first-fit: at 100k PMs the first-fit scan is quadratic in the fleet
+// (every VM walks the filled prefix), while round-robin is O(VMs) and
+// spreads load evenly — which also leaves consolidation headroom, so the
+// Best/Apply round measurement has real moves to make.
+func benchStateLarge(pmCount, nVMs int, seed int64) (*core.Context, []*cluster.VM) {
+	dc := cluster.TableIIFleetScaled(pmCount)
+	pms := dc.PMs()
+	for _, pm := range pms {
+		pm.State = cluster.PMOn
+	}
+	rng := stats.NewRand(seed)
+	mems := []float64{0.25, 0.5, 1, 2}
+	var vms []*cluster.VM
+	for id := 1; id <= nVMs; id++ {
+		demand := vector.New(float64(1+rng.Intn(2)), mems[rng.Intn(len(mems))])
+		est := float64(600 + rng.Intn(86400))
+		vm := cluster.NewVM(cluster.VMID(id), demand, est, est, 0)
+		pm := pms[(id-1)%len(pms)]
+		if !pm.CanHost(vm.Demand) {
+			continue
+		}
+		if err := pm.Host(vm); err != nil {
+			panic(err)
 		}
 		vm.State = cluster.VMRunning
 		vm.StartTime = float64(rng.Intn(7000))
@@ -1226,14 +1531,15 @@ func loadMetrics(path string) (map[string]float64, error) {
 		return nil, err
 	}
 	var doc struct {
-		Scales []map[string]any `json:"scales"`
-		Cells  []map[string]any `json:"cells"`
+		Scales  []map[string]any `json:"scales"`
+		Cells   []map[string]any `json:"cells"`
+		Workers []map[string]any `json:"kernel_workers"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	metrics := make(map[string]float64)
-	for _, scale := range append(doc.Scales, doc.Cells...) {
+	for _, scale := range append(append(doc.Scales, doc.Cells...), doc.Workers...) {
 		prefix := ""
 		if v, ok := scale["cells"].(float64); ok {
 			prefix = fmt.Sprintf("cells=%d", int(v))

@@ -94,7 +94,9 @@ func TestRunScaleSuite(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "scale.json")
 	var buf bytes.Buffer
 	if err := run([]string{"-suite", "scale", "-scale-sizes", "8,16", "-scale-k", "4",
-		"-cell-counts", "1,3", "-cell-pms", "30", "-benchtime", "5ms", "-scale-o", out}, &buf); err != nil {
+		"-cell-counts", "1,3", "-cell-pms", "30",
+		"-kernel-workers-list", "1,2", "-kernel-workers-pms", "40", "-large-pms", "60",
+		"-benchtime", "5ms", "-scale-o", out}, &buf); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -108,10 +110,10 @@ func TestRunScaleSuite(t *testing.T) {
 	if rep.K != 4 {
 		t.Errorf("report K = %d, want 4", rep.K)
 	}
-	if len(rep.Scales) != 2 {
-		t.Fatalf("got %d scales, want 2", len(rep.Scales))
+	if len(rep.Scales) != 3 {
+		t.Fatalf("got %d scales, want 3 (two sized points plus the sparse-only large point)", len(rep.Scales))
 	}
-	for _, sc := range rep.Scales {
+	for _, sc := range rep.Scales[:2] {
 		if sc.PMs <= 0 || sc.VMs <= 0 {
 			t.Errorf("scale %+v missing fleet sizes", sc)
 		}
@@ -127,6 +129,39 @@ func TestRunScaleSuite(t *testing.T) {
 			if m.DenseIters <= 0 || m.SparseIters <= 0 {
 				t.Errorf("pms=%d %s: missing iteration counts %+v", sc.PMs, name, m)
 			}
+		}
+	}
+	// The large point is sparse-only: dense build/round timings stay zero
+	// (which -diff skips), sparse timings must be real, and the arrival
+	// comparison still has both sides (the dense arrival is matrix-free).
+	large := rep.Scales[2]
+	if large.PMs != 60 || large.VMs <= 0 {
+		t.Errorf("large point fleet shape: pms=%d vms=%d, want pms=60", large.PMs, large.VMs)
+	}
+	if large.Build.DenseNsOp != 0 || large.Round.DenseNsOp != 0 {
+		t.Errorf("large point timed a dense matrix: %+v", large)
+	}
+	if large.Build.SparseNsOp <= 0 || large.Round.SparseNsOp <= 0 {
+		t.Errorf("large point missing sparse timings: %+v", large)
+	}
+	if large.Arrival.DenseNsOp <= 0 || large.Arrival.SparseNsOp <= 0 {
+		t.Errorf("large point missing arrival timings: %+v", large)
+	}
+	// The kernel-workers curve rode along: one point per requested count,
+	// every parallel point already asserted bit-identical to workers=1
+	// (run would have errored), timings populated.
+	if len(rep.WorkersCurve) != 2 {
+		t.Fatalf("got %d kernel-workers points, want 2", len(rep.WorkersCurve))
+	}
+	if rep.KernelWorkersPMs != 40 {
+		t.Errorf("kernel_workers_pms = %d, want 40", rep.KernelWorkersPMs)
+	}
+	for i, pt := range rep.WorkersCurve {
+		if want := []int{1, 2}[i]; pt.Workers != want {
+			t.Errorf("workers point %d is workers=%d, want %d", i, pt.Workers, want)
+		}
+		if pt.BuildNsOp <= 0 || pt.SparseBuildNsOp <= 0 || pt.PassNsOp <= 0 || pt.Speedup <= 0 || pt.Iters <= 0 {
+			t.Errorf("workers=%d: non-positive measurements %+v", pt.Workers, pt)
 		}
 	}
 	// The multi-cell curve rode along: one point per requested count, the
@@ -167,6 +202,10 @@ func TestScaleSuiteCellValidation(t *testing.T) {
 		{"-suite", "scale", "-cell-counts", "1,x"},
 		{"-suite", "scale", "-cell-pms", "1"},
 		{"-suite", "scale", "-cell-pms", "8", "-cell-counts", "16"},
+		{"-suite", "scale", "-kernel-workers-list", "0"},
+		{"-suite", "scale", "-kernel-workers-list", "1,x"},
+		{"-suite", "scale", "-kernel-workers-pms", "1"},
+		{"-suite", "scale", "-large-pms", "-1"},
 	} {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
@@ -193,6 +232,13 @@ func TestDiffReadsCommittedScaleReport(t *testing.T) {
 		"cells=4/run_ns_op",
 		"cells=16/run_ns_op",
 		"cells=64/run_ns_op",
+		"pms=100000/build/sparse_ns_op",
+		"pms=100000/round/sparse_ns_op",
+		"pms=100000/arrival/sparse_ns_op",
+		"workers=1/build_ns_op",
+		"workers=2/build_ns_op",
+		"workers=4/sparse_build_ns_op",
+		"workers=8/consolidate_ns_op",
 	} {
 		if _, ok := m[want]; !ok {
 			t.Errorf("committed BENCH_scale.json missing metric %s", want)

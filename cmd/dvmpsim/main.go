@@ -5,7 +5,8 @@
 // Usage:
 //
 //	dvmpsim [-scheme dynamic] [-swf lpc.swf] [-seed 1] [-spare]
-//	        [-nodes 100] [-sparse K] [-cells C] [-csv out.csv] [-v]
+//	        [-nodes 100] [-sparse K] [-cells C] [-kernel-workers W]
+//	        [-csv out.csv] [-v]
 //	        [-trace run.jsonl] [-metrics run.metrics.json]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -13,6 +14,12 @@
 // through the candidate-set engine with budget K (see README "Sparse
 // placement"); decisions — and therefore traces — are bit-identical to
 // the dense kernel, which TestGoldenTraceSparse pins.
+//
+// -kernel-workers W bounds the goroutines the dynamic scheme's in-run
+// kernels fan out on (matrix builds, candidate sync, consolidation
+// argmax; see README "Parallel kernels" and DESIGN.md §15). 0 auto-sizes
+// to GOMAXPROCS under the process-wide goroutine budget, 1 forces the
+// serial path; results are bit-identical at every setting.
 //
 // -cells C partitions the fleet into C cells advanced by the
 // shared-clock orchestrator (see README "Multi-cell runs" and DESIGN.md
@@ -82,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "workload / random-scheme seed")
 		sparseK   = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse placement engine (0 = dense)")
 		cells     = fs.Int("cells", 1, "partition the fleet into N cells under the shared-clock orchestrator (1 = monolithic engine; results are bit-identical for any N)")
+		kernelW   = fs.Int("kernel-workers", 0, "goroutines the dynamic scheme's placement kernels fan out on (0 = auto-size to GOMAXPROCS under the shared budget, 1 = serial; results are bit-identical for any value)")
 		useSpare  = fs.Bool("spare", false, "enable the spare-server controller (Section IV)")
 		nodes     = fs.Int("nodes", 100, "fleet size (Table II fast:slow mix is preserved)")
 		jobCount  = fs.Int("jobs", 0, "truncate the workload to the first N jobs (0 = all)")
@@ -125,6 +133,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cells must be >= 1 (got %d)", *cells)
 	case *cells > *nodes:
 		return fmt.Errorf("-cells must not exceed -nodes: every cell owns at least one PM (got %d cells for %d nodes)", *cells, *nodes)
+	case *kernelW < 0:
+		return fmt.Errorf("-kernel-workers must be >= 0 (got %d)", *kernelW)
 	}
 
 	if *cpuProf != "" {
@@ -189,7 +199,7 @@ func run(args []string, out io.Writer) error {
 	} else {
 		dc = cluster.TableIIFleetScaled(*nodes)
 	}
-	cfg := sim.Config{DC: dc, Placer: placer, Requests: reqs, TimedMigrations: *timed, WarmStart: *warm, Cells: *cells}
+	cfg := sim.Config{DC: dc, Placer: placer, Requests: reqs, TimedMigrations: *timed, WarmStart: *warm, Cells: *cells, KernelWorkers: *kernelW}
 	cfg.Audit, err = audit.ParseMode(*auditMode)
 	if err != nil {
 		return err

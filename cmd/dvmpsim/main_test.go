@@ -103,6 +103,8 @@ func TestRunErrors(t *testing.T) {
 		{"zero cells", []string{"-scheme", "dynamic", "-cells", "0"}, "-cells"},
 		{"negative cells", []string{"-scheme", "dynamic", "-cells", "-2"}, "-cells"},
 		{"more cells than nodes", []string{"-scheme", "dynamic", "-nodes", "4", "-cells", "5"}, "-cells"},
+		{"negative kernel workers", []string{"-scheme", "dynamic", "-kernel-workers", "-1"}, "-kernel-workers"},
+		{"very negative kernel workers", []string{"-kernel-workers", "-7"}, "-kernel-workers"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

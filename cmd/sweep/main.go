@@ -10,6 +10,7 @@
 //
 //	sweep [-schemes first-fit,best-fit,dynamic] [-reps 8 | -seeds 1,4,9]
 //	      [-workers N] [-nodes 100] [-jobs 0] [-spare] [-sparse K] [-cells C]
+//	      [-kernel-workers W]
 //	      [-o report.json] [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
 //
 // Each seed generates its own synthetic week (the Figure 2 calibration),
@@ -24,6 +25,14 @@
 // run's fleet into C cells advanced by the shared-clock orchestrator (see
 // README "Multi-cell runs"); results are bit-identical to -cells 1, so the
 // report JSON is byte-identical across cell counts.
+//
+// -kernel-workers W bounds the goroutines the dynamic scheme's placement
+// kernels fan out on inside each run (see README "Parallel kernels" and
+// DESIGN.md §15). The replication workers and the in-run kernels share
+// one process-wide goroutine budget: with -kernel-workers 0 (auto) a
+// saturated sweep keeps the kernels serial, while an explicit W > 1 is
+// honored per run. Results — and the report JSON — are bit-identical at
+// every setting.
 //
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole sweep for `go tool pprof`, mirroring cmd/dvmpsim; with more
@@ -68,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		useSpare    = fs.Bool("spare", true, "attach the spare-server controller to the dynamic scheme")
 		sparseK     = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse engine (0 = dense)")
 		cells       = fs.Int("cells", 1, "partition each run's fleet into this many cells (bit-identical results; 1 = monolithic)")
+		kernelW     = fs.Int("kernel-workers", 0, "goroutines the dynamic scheme's placement kernels fan out on per run (0 = auto under the shared budget, 1 = serial; bit-identical results)")
 		outPath     = fs.String("o", "", "write the merged report as JSON to this file (- for stdout)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf     = fs.String("memprofile", "", "write an end-of-sweep heap profile to this file")
@@ -91,6 +101,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cells must be positive (got %d)", *cells)
 	case *cells > *nodes:
 		return fmt.Errorf("-cells (%d) cannot exceed -nodes (%d): every cell needs at least one PM", *cells, *nodes)
+	case *kernelW < 0:
+		return fmt.Errorf("-kernel-workers must be >= 0 (got %d)", *kernelW)
 	}
 	schemes, err := parseSchemes(*schemesFlag)
 	if err != nil {
@@ -132,6 +144,7 @@ func run(args []string, out io.Writer) error {
 			SpareForDynamic: *useSpare,
 			CandidateK:      *sparseK,
 			Cells:           *cells,
+			KernelWorkers:   *kernelW,
 			TraceGen:        traceGen(*jobCount),
 		},
 		Schemes: schemes,

@@ -36,6 +36,8 @@ func TestRunErrors(t *testing.T) {
 		{"zero cells", []string{"-cells", "0"}, "-cells"},
 		{"negative cells", []string{"-cells", "-4"}, "-cells"},
 		{"more cells than nodes", []string{"-nodes", "8", "-cells", "9"}, "-cells"},
+		{"negative kernel workers", []string{"-kernel-workers", "-1"}, "-kernel-workers"},
+		{"very negative kernel workers", []string{"-kernel-workers", "-8"}, "-kernel-workers"},
 		{"unknown scheme", []string{"-schemes", "nope", "-reps", "1", "-nodes", "8", "-jobs", "10"}, "scheme"},
 	}
 	for _, tc := range cases {

@@ -166,6 +166,14 @@ func QueueCheck(verify func() error) Check {
 // and Best decision, plus internal consistency of the kernel matrix's
 // incremental trackers (SelfCheck). O(M*N) factor evaluations per run, so
 // it is a per-period check even in event mode.
+//
+// The three rebuilds are independent by construction — each builder copies
+// and sorts its own VM slice and only reads the (quiescent) fleet — so
+// they run concurrently (core.Parallel). The generic and oracle builds get
+// fresh Contexts: a Context's scratch checkout and lazy per-class cache
+// are single-threaded, and the per-class constants they re-derive depend
+// only on the fleet's classes, so a fresh Context computes bit-identical
+// cells. The diffs then run serially on the calling goroutine.
 func TrackerCheck(ctx *core.Context, factors []core.Factor) Check {
 	return Check{
 		Name:     "tracker",
@@ -176,23 +184,41 @@ func TrackerCheck(ctx *core.Context, factors []core.Factor) Check {
 			if len(vms) == 0 {
 				return nil
 			}
-			kernel, err := core.NewMatrix(ctx, factors, vms)
-			if err != nil {
-				return fmt.Errorf("kernel matrix build: %w", err)
+			var (
+				kernel, generic       *core.Matrix
+				ref                   *oracle.Matrix
+				kernErr, kernCheckErr error
+				genErr, refErr        error
+			)
+			core.Parallel(
+				func() {
+					kernel, kernErr = core.NewMatrix(ctx, factors, vms)
+					if kernErr == nil {
+						kernCheckErr = kernel.SelfCheck()
+					}
+				},
+				func() {
+					generic, genErr = core.NewMatrixWith(core.NewContext(ctx.DC).At(now), factors, vms,
+						core.MatrixOptions{DisableKernel: true})
+				},
+				func() {
+					ref, refErr = oracle.NewMatrix(core.NewContext(ctx.DC).At(now), factors, vms)
+				},
+			)
+			if kernErr != nil {
+				return fmt.Errorf("kernel matrix build: %w", kernErr)
 			}
-			if err := kernel.SelfCheck(); err != nil {
-				return fmt.Errorf("kernel matrix self-check: %w", err)
+			if kernCheckErr != nil {
+				return fmt.Errorf("kernel matrix self-check: %w", kernCheckErr)
 			}
-			generic, err := core.NewMatrixWith(ctx, factors, vms, core.MatrixOptions{DisableKernel: true})
-			if err != nil {
-				return fmt.Errorf("generic matrix build: %w", err)
+			if genErr != nil {
+				return fmt.Errorf("generic matrix build: %w", genErr)
 			}
 			if err := kernel.Diff(generic); err != nil {
 				return fmt.Errorf("kernel vs generic factor path: %w", err)
 			}
-			ref, err := oracle.NewMatrix(ctx, factors, vms)
-			if err != nil {
-				return fmt.Errorf("oracle matrix build: %w", err)
+			if refErr != nil {
+				return fmt.Errorf("oracle matrix build: %w", refErr)
 			}
 			if err := diffOracle(kernel, ref); err != nil {
 				return fmt.Errorf("kernel vs frozen oracle: %w", err)
@@ -232,18 +258,39 @@ func SparseCheck(ctx *core.Context, factors []core.Factor, k int) Check {
 			if len(vms) == 0 {
 				return nil
 			}
-			sm, err := core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k})
-			if err != nil {
-				return fmt.Errorf("sparse matrix build: %w", err)
+			// The sparse build must run on the live Context (it exercises
+			// the run's own candidate index); the dense reference only
+			// needs the fleet, so it builds concurrently on a fresh
+			// Context (same independence argument as TrackerCheck).
+			var (
+				sm             *core.SparseMatrix
+				dense          *core.Matrix
+				smErr, smCheck error
+				denseErr       error
+			)
+			core.Parallel(
+				func() {
+					sm, smErr = core.NewSparseMatrix(ctx, factors, vms, core.MatrixOptions{CandidateK: k})
+					if smErr == nil {
+						smCheck = sm.SelfCheck()
+					}
+				},
+				func() {
+					dense, denseErr = core.NewMatrix(core.NewContext(ctx.DC).At(now), factors, vms)
+				},
+			)
+			if denseErr == nil {
+				defer dense.Release()
 			}
-			if err := sm.SelfCheck(); err != nil {
-				return fmt.Errorf("sparse matrix self-check: %w", err)
+			if smErr != nil {
+				return fmt.Errorf("sparse matrix build: %w", smErr)
 			}
-			dense, err := core.NewMatrix(ctx, factors, vms)
-			if err != nil {
-				return fmt.Errorf("dense matrix build: %w", err)
+			if smCheck != nil {
+				return fmt.Errorf("sparse matrix self-check: %w", smCheck)
 			}
-			defer dense.Release()
+			if denseErr != nil {
+				return fmt.Errorf("dense matrix build: %w", denseErr)
+			}
 			if err := sm.DiffDense(dense); err != nil {
 				return fmt.Errorf("sparse vs dense matrix: %w", err)
 			}

@@ -70,6 +70,14 @@ type candIndex struct {
 	// consolidation engine's targeted tracker updates. Bulk syncs discard
 	// it.
 	events []candEvent
+
+	// workers is the sticky MatrixOptions.Workers request the bulk kernels
+	// (sync's staleness sweep, shapeFor's first-seen fleet pass) resolve
+	// against; candidatesWith updates it. Zero auto-sizes.
+	workers int
+
+	// dirty holds sync's per-span stale-PM lists (parallel path scratch).
+	dirty [][]int32
 }
 
 // pmStamp is the staleness fingerprint of one PM. Version covers every
@@ -138,11 +146,25 @@ type candEvent struct {
 }
 
 // candidates returns the Context's candidate index, synced to the current
-// fleet state.
+// fleet state under the most recently requested worker count.
 func (ctx *Context) candidates() *candIndex {
 	if ctx.cand == nil {
 		ctx.cand = newCandIndex(ctx)
 	}
+	ctx.cand.sync()
+	return ctx.cand
+}
+
+// candidatesWith is candidates with an explicit worker request
+// (MatrixOptions.Workers) applied to the index's bulk kernels before the
+// sync pass runs. The setting is sticky: later plain candidates() calls
+// reuse it, matching how one options value drives a whole consolidation
+// pass.
+func (ctx *Context) candidatesWith(workers int) *candIndex {
+	if ctx.cand == nil {
+		ctx.cand = newCandIndex(ctx)
+	}
+	ctx.cand.workers = workers
 	ctx.cand.sync()
 	return ctx.cand
 }
@@ -169,16 +191,60 @@ func stampOf(pm *cluster.PM) pmStamp {
 
 // sync re-derives group membership for every PM whose stamp changed. The
 // events produced by a bulk sync have no consumer and are dropped.
+//
+// The staleness sweep — three word-compares per PM, the whole fleet every
+// sync — shards across workers in fixed contiguous PM spans, each span
+// collecting its stale IDs into its own slot; re-derivation then applies
+// serially in span order, which is ascending PM ID, exactly the serial
+// sweep's order. Group state mutates only in the serial phase, so worker
+// count cannot change the index.
 func (x *candIndex) sync() {
-	for id, pm := range x.pms {
-		s := stampOf(pm)
-		if s == x.stamps[id] {
-			continue
+	n := len(x.pms)
+	workers, borrowed := x.syncWorkers(n)
+	defer ReturnWorkers(borrowed)
+	if workers <= 1 {
+		for id, pm := range x.pms {
+			s := stampOf(pm)
+			if s == x.stamps[id] {
+				continue
+			}
+			x.stamps[id] = s
+			x.resyncPM(int32(id))
 		}
-		x.stamps[id] = s
-		x.resyncPM(int32(id))
+		x.events = x.events[:0]
+		return
+	}
+	span := (n + workers - 1) / workers
+	nspans := (n + span - 1) / span
+	for len(x.dirty) < nspans {
+		x.dirty = append(x.dirty, nil)
+	}
+	runSpans(workers, n, span, func(_, lo, hi int) {
+		buf := x.dirty[lo/span][:0]
+		for id := lo; id < hi; id++ {
+			if stampOf(x.pms[id]) != x.stamps[id] {
+				buf = append(buf, int32(id))
+			}
+		}
+		x.dirty[lo/span] = buf
+	})
+	for si := 0; si < nspans; si++ {
+		for _, id := range x.dirty[si] {
+			x.stamps[id] = stampOf(x.pms[id])
+			x.resyncPM(id)
+		}
 	}
 	x.events = x.events[:0]
+}
+
+// syncWorkers resolves the index's worker count for a fleet-sized loop;
+// the caller must ReturnWorkers the borrowed tokens. Auto requests share
+// the sparse engine's serial-below threshold.
+func (x *candIndex) syncWorkers(n int) (workers, borrowed int) {
+	if x.workers == 0 && n < sparseParallelThreshold {
+		return 1, 0
+	}
+	return claimWorkers(x.workers, n)
 }
 
 // syncPM refreshes one PM's stamp and membership, appending any membership
@@ -276,14 +342,45 @@ func (x *candIndex) shapeFor(demand vector.V) *candShape {
 	for i := range sh.groupOf {
 		sh.groupOf[i] = -1
 	}
-	for id, pm := range x.pms {
-		k, rel, ev, ok := x.membership(pm, sh.demand)
-		if !ok {
-			continue
+	// The first-seen fleet pass is the index's O(M) hotspot: membership is
+	// a pure signature evaluation per PM once the class table is warm, so
+	// it shards across workers into per-PM result slots; groups are then
+	// built serially in PM-ID order, so group numbering and member order
+	// match the serial pass exactly.
+	n := len(x.pms)
+	if workers, borrowed := x.syncWorkers(n); workers > 1 {
+		for _, pm := range x.pms {
+			x.classFor(pm) // prewarm the class table: read-only below
 		}
-		gi := sh.groupIdx(k, rel, ev)
-		sh.addMember(gi, int32(id))
-		sh.groupOf[id] = gi
+		keys := make([]candKey, n)
+		rels := make([]float64, n)
+		evs := make([]float64, n)
+		oks := make([]bool, n)
+		runSpans(workers, n, spanChunk(n, workers), func(_, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				keys[id], rels[id], evs[id], oks[id] = x.membership(x.pms[id], sh.demand)
+			}
+		})
+		ReturnWorkers(borrowed)
+		for id := range x.pms {
+			if !oks[id] {
+				continue
+			}
+			gi := sh.groupIdx(keys[id], rels[id], evs[id])
+			sh.addMember(gi, int32(id))
+			sh.groupOf[id] = gi
+		}
+	} else {
+		ReturnWorkers(borrowed)
+		for id, pm := range x.pms {
+			k, rel, ev, ok := x.membership(pm, sh.demand)
+			if !ok {
+				continue
+			}
+			gi := sh.groupIdx(k, rel, ev)
+			sh.addMember(gi, int32(id))
+			sh.groupOf[id] = gi
+		}
 	}
 	x.shapes[string(key)] = sh
 	x.shapeList = append(x.shapeList, sh)

@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"slices"
 	"strings"
-	"sync"
 
 	"repro/internal/cluster"
 )
@@ -125,6 +123,18 @@ type MatrixOptions struct {
 	// visible. Factor programs other than the canonical four fall back to
 	// the dense path. Zero keeps the dense engine everywhere.
 	CandidateK int
+
+	// Workers bounds the goroutines the in-run kernels fan out on
+	// (parallel.go): the dense/slab build by row ranges, the build-time
+	// column sweep, the sparse candidate-index sync and column scans, and
+	// the sparse consolidation argmax. Zero auto-sizes to GOMAXPROCS
+	// bounded by the process-wide budget shared with exp.RunSweep (and
+	// stays serial below the build-size thresholds); one forces the
+	// strictly serial path with its zero-allocation budgets; an explicit
+	// count above one is honored verbatim — results are bit-identical at
+	// every setting (DESIGN.md §15), so the knob trades goroutines for
+	// wall clock, never determinism.
+	Workers int
 }
 
 // NewMatrix builds the probability matrix over the data center's active
@@ -223,19 +233,33 @@ func (m *Matrix) eval(r, c int) float64 {
 	return Joint(m.ctx, m.factors, vm, pm, hosted)
 }
 
-// parallelBuildThreshold is the matrix size (rows * cols) above which the
-// initial fill fans out across CPUs. Below it, goroutine overhead beats
-// the win. Variable rather than constant so tests can force both paths.
+// parallelBuildThreshold is the matrix size (rows * cols) below which an
+// auto-sized build (MatrixOptions.Workers == 0) stays serial — goroutine
+// overhead beats the win on small fleets. Explicit worker counts bypass
+// it. Variable rather than constant so tests can force both paths.
 var parallelBuildThreshold = 50_000
 
-// fill computes every p[r][c]. Rows are independent, so for large fleets
-// the build is sharded across workers in row chunks (one channel send per
-// chunk rather than per row — at 10k+ rows the per-send overhead is
-// measurable); the per-class constants are prewarmed first so the
-// Context's lazy cache is read-only during the parallel phase (no locking
-// on the hot path).
+// buildWorkers resolves the worker count for a build-scale loop over
+// `items` independent units costing `cells` total cell evaluations. Auto
+// mode stays serial below parallelBuildThreshold; the caller must
+// ReturnWorkers the borrowed tokens.
+func (m *Matrix) buildWorkers(items, cells int) (workers, borrowed int) {
+	if m.opts.Workers == 0 && cells < parallelBuildThreshold {
+		return 1, 0
+	}
+	return claimWorkers(m.opts.Workers, items)
+}
+
+// fill computes every p[r][c]. Rows are independent and each lands in its
+// own slice, so the build shards across workers in row spans; the
+// per-class constants are prewarmed first so the Context's lazy cache is
+// read-only during the parallel phase (no locking on the hot path).
+// Worker count cannot change the result: every cell is a pure function of
+// (row, column) state no other worker touches.
 func (m *Matrix) fill() {
-	if len(m.pms)*len(m.vms) < parallelBuildThreshold {
+	workers, borrowed := m.buildWorkers(len(m.pms), len(m.pms)*len(m.vms))
+	defer ReturnWorkers(borrowed)
+	if workers <= 1 {
 		for r := range m.pms {
 			m.fillRow(r)
 		}
@@ -244,42 +268,14 @@ func (m *Matrix) fill() {
 	for _, pm := range m.pms {
 		m.ctx.classInfoFor(pm) // prewarm: cache becomes read-only below
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(m.pms) {
-		workers = len(m.pms)
-	}
-	// Chunks several times smaller than a worker's fair share keep the
-	// load balanced when row costs vary without paying one send per row.
-	chunk := len(m.pms) / (workers * 8)
-	if chunk < 1 {
-		chunk = 1
-	}
-	var wg sync.WaitGroup
-	chunks := make(chan [2]int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns its demand-shape memo buffers; the
-			// matrix's serial rowScratch cannot be shared across
-			// goroutines.
-			var rs rowScratch
-			for span := range chunks {
-				for r := span[0]; r < span[1]; r++ {
-					m.fillRowWith(r, &rs)
-				}
-			}
-		}()
-	}
-	for start := 0; start < len(m.pms); start += chunk {
-		end := start + chunk
-		if end > len(m.pms) {
-			end = len(m.pms)
+	// Each worker owns its demand-shape memo buffers; the matrix's serial
+	// rowScratch cannot be shared across goroutines.
+	rss := make([]rowScratch, workers)
+	runSpans(workers, len(m.pms), spanChunk(len(m.pms), workers), func(w, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			m.fillRowWith(r, &rss[w])
 		}
-		chunks <- [2]int{start, end}
-	}
-	close(chunks)
-	wg.Wait()
+	})
 }
 
 // fillRow evaluates every cell of row r using the matrix's serial row
@@ -387,10 +383,34 @@ func (m *Matrix) normalize(p, cur float64) float64 {
 //
 // For positive-normalizer columns the sweep also rebuilds the exact
 // top-topK candidate list that recomputeRow maintains incrementally.
+//
+// During the initial build — before the gain heap exists — the listed
+// columns are fully independent (fixColumn is a no-op), so the sweep
+// shards across workers in column spans; per-span results are
+// bit-identical to the serial sweep because each column's trackers are a
+// pure function of its own probabilities. Once the heap is live the
+// incremental refreshes stay serial: fixColumn mutates shared heap state.
 func (m *Matrix) refreshColumns(cols []int) {
 	if len(cols) == 0 {
 		return
 	}
+	if len(m.hpos) == 0 {
+		workers, borrowed := m.buildWorkers(len(cols), len(m.pms)*len(cols))
+		if workers > 1 {
+			runSpans(workers, len(cols), spanChunk(len(cols), workers), func(_, lo, hi int) {
+				m.refreshColumnSpan(cols[lo:hi])
+			})
+			ReturnWorkers(borrowed)
+			return
+		}
+		ReturnWorkers(borrowed)
+	}
+	m.refreshColumnSpan(cols)
+}
+
+// refreshColumnSpan is refreshColumns' serial body over one span of
+// columns.
+func (m *Matrix) refreshColumnSpan(cols []int) {
 	for _, c := range cols {
 		vm := m.vms[c]
 		cr, ok := m.rowOf[vm.Host]

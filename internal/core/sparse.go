@@ -72,6 +72,11 @@ type SparseMatrix struct {
 	// seq numbers Applies; candShape.seq/evFrom/evTo are valid for the
 	// current Apply only when they carry this value.
 	seq uint64
+
+	// argmaxG/argmaxC are Best's reusable per-span reduction slots
+	// (one per fixed column span when the argmax runs on workers).
+	argmaxG []float64
+	argmaxC []int
 }
 
 // canonicalDefault reports whether factors are exactly the paper's four in
@@ -103,7 +108,7 @@ func NewSparseMatrix(ctx *Context, factors []Factor, vms []*cluster.VM, opts Mat
 		ctx:     ctx,
 		factors: factors,
 		opts:    opts,
-		cand:    ctx.candidates(),
+		cand:    ctx.candidatesWith(opts.Workers),
 		rowOf:   make(map[cluster.PMID]int, 64),
 	}
 	sm.pms = ctx.DC.AppendActivePMs(nil)
@@ -189,10 +194,78 @@ func NewSparseMatrix(ctx *Context, factors []Factor, vms []*cluster.VM, opts Mat
 	for r := range sm.effH {
 		sm.effH[r] = math.NaN()
 	}
-	for c := range sm.vms {
-		sm.refreshColumn(c)
-	}
+	sm.initialSync()
 	return sm, nil
+}
+
+// sparseParallelThreshold is the column count below which auto-sized
+// sparse kernels (Workers == 0) stay serial; explicit worker counts
+// bypass it. Variable so tests and benchmarks can force both paths.
+var sparseParallelThreshold = 4096
+
+// sparseWorkers resolves the worker count for a sparse kernel over n
+// units; the caller must ReturnWorkers the borrowed tokens.
+func (sm *SparseMatrix) sparseWorkers(n int) (workers, borrowed int) {
+	if sm.opts.Workers == 0 && n < sparseParallelThreshold {
+		return 1, 0
+	}
+	return claimWorkers(sm.opts.Workers, n)
+}
+
+// initialSync derives every column's trackers for the first time. The
+// serial path is one refreshColumn per column; above the threshold the
+// scan phase shards across workers in column spans — each column's
+// normalizer, best alternative, and gain land in that column's own slots,
+// with the per-row efficiency memo prewarmed so hostProb is read-only —
+// and the shared reverse indices are then installed serially in column
+// order, reproducing the serial loop's exact append order. Both paths are
+// bit-identical: per-column values come from the same scanColumn code on
+// the same operands.
+func (sm *SparseMatrix) initialSync() {
+	nc := len(sm.vms)
+	workers, borrowed := sm.sparseWorkers(nc)
+	defer ReturnWorkers(borrowed)
+	if workers <= 1 {
+		for c := range sm.vms {
+			sm.refreshColumn(c)
+		}
+		return
+	}
+	for r := range sm.pms {
+		sm.hostProb(r) // prewarm the effH memo: read-only below
+	}
+	runSpans(workers, nc, spanChunk(nc, workers), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			vm := sm.vms[c]
+			h := int(vm.Host)
+			if h < 0 || h >= len(sm.id2row) || sm.id2row[h] < 0 {
+				panic(fmt.Sprintf("core: VM %d host %d left the matrix", vm.ID, vm.Host))
+			}
+			row := int(sm.id2row[h])
+			sm.curRow[c] = row
+			sm.curProb[c] = sm.hostProb(row)
+			bestRow, bestP := sm.scanColumn(c)
+			sm.bestRow[c] = bestRow
+			sm.bestP[c] = bestP
+			switch {
+			case bestRow < 0:
+				sm.bestGain[c] = 0
+			case sm.curProb[c] > 0:
+				sm.bestGain[c] = bestP / sm.curProb[c]
+			default:
+				sm.bestGain[c] = math.Inf(1)
+			}
+		}
+	})
+	for c := range sm.vms {
+		r := sm.curRow[c]
+		sm.hostPos[c] = int32(len(sm.hostCols[r]))
+		sm.hostCols[r] = append(sm.hostCols[r], int32(c))
+		if br := sm.bestRow[c]; br >= 0 {
+			sm.bestPos[c] = int32(len(sm.bestCols[br]))
+			sm.bestCols[br] = append(sm.bestCols[br], int32(c))
+		}
+	}
 }
 
 // Rows and Cols report the engine's dimensions, mirroring Matrix.
@@ -346,13 +419,47 @@ func (sm *SparseMatrix) BestAlt(c int) (row int, gain float64) {
 // each of the hundreds of columns an Apply re-derives. The strict
 // greater-than keeps the first maximum, which is the dense heap's
 // (gain desc, column asc) order.
+//
+// With workers, the argmax splits into fixed contiguous column spans with
+// one result slot per span (indexed by span, not by worker, so scheduling
+// cannot reorder results) merged in span order under the same strict
+// greater-than — the first maximum wins within a span and across spans,
+// so the answer is bit-identical to the serial scan at any worker count.
 func (sm *SparseMatrix) Best() (r, c int, gain float64, ok bool) {
+	n := len(sm.bestGain)
 	col, best := -1, 0.0
-	for c2, g := range sm.bestGain {
-		if g > best {
-			best, col = g, c2
+	workers, borrowed := sm.sparseWorkers(n)
+	if workers > 1 {
+		span := (n + workers - 1) / workers
+		nspans := (n + span - 1) / span
+		if cap(sm.argmaxG) < nspans {
+			sm.argmaxG = make([]float64, nspans)
+			sm.argmaxC = make([]int, nspans)
+		}
+		slotG, slotC := sm.argmaxG[:nspans], sm.argmaxC[:nspans]
+		runSpans(workers, n, span, func(_, lo, hi int) {
+			bg, bc := 0.0, -1
+			for c2 := lo; c2 < hi; c2++ {
+				if g := sm.bestGain[c2]; g > bg {
+					bg, bc = g, c2
+				}
+			}
+			si := lo / span
+			slotG[si], slotC[si] = bg, bc
+		})
+		for si := 0; si < nspans; si++ {
+			if slotG[si] > best {
+				best, col = slotG[si], slotC[si]
+			}
+		}
+	} else {
+		for c2, g := range sm.bestGain {
+			if g > best {
+				best, col = g, c2
+			}
 		}
 	}
+	ReturnWorkers(borrowed)
 	if col < 0 || sm.bestRow[col] < 0 {
 		return -1, -1, 0, false
 	}
@@ -670,6 +777,44 @@ func (sm *SparseMatrix) DiffDense(o *Matrix) error {
 	return nil
 }
 
+// DiffSparse compares two sparse engines tracker-for-tracker: dimensions,
+// row/column identities, normalizers, best alternatives, and the Best
+// extraction must all be bit-identical. It is the equivalence gate behind
+// the parallel-kernel tests and cmd/benchreport's 100k-PM scale point,
+// where a dense reference matrix (DiffDense) would not fit in memory.
+func (sm *SparseMatrix) DiffSparse(o *SparseMatrix) error {
+	if sm.Rows() != o.Rows() || sm.Cols() != o.Cols() {
+		return fmt.Errorf("core: sparse %dx%d != sparse %dx%d", sm.Rows(), sm.Cols(), o.Rows(), o.Cols())
+	}
+	for r := range sm.pms {
+		if sm.pms[r].ID != o.pms[r].ID {
+			return fmt.Errorf("core: row %d is PM %d vs PM %d", r, sm.pms[r].ID, o.pms[r].ID)
+		}
+	}
+	for c := range sm.vms {
+		if sm.vms[c].ID != o.vms[c].ID {
+			return fmt.Errorf("core: column %d is VM %d vs VM %d", c, sm.vms[c].ID, o.vms[c].ID)
+		}
+		if sm.curRow[c] != o.curRow[c] || sm.curProb[c] != o.curProb[c] {
+			return fmt.Errorf("core: column %d normalizer (row %d, p %g) vs (row %d, p %g)",
+				c, sm.curRow[c], sm.curProb[c], o.curRow[c], o.curProb[c])
+		}
+		if sm.bestRow[c] != o.bestRow[c] || sm.bestGain[c] != o.bestGain[c] {
+			return fmt.Errorf("core: column %d best (row %d, gain %g) vs (row %d, gain %g)",
+				c, sm.bestRow[c], sm.bestGain[c], o.bestRow[c], o.bestGain[c])
+		}
+		if sm.bestRow[c] >= 0 && sm.bestP[c] != o.bestP[c] {
+			return fmt.Errorf("core: column %d bestP %g vs %g", c, sm.bestP[c], o.bestP[c])
+		}
+	}
+	mr, mc, mg, mok := sm.Best()
+	or, oc, og, ook := o.Best()
+	if mok != ook || (mok && (mr != or || mc != oc || mg != og)) {
+		return fmt.Errorf("core: Best (%d, %d, %g, %t) vs (%d, %d, %g, %t)", mr, mc, mg, mok, or, oc, og, ook)
+	}
+	return nil
+}
+
 // verifyDense checks the live sparse state against a cold dense build over
 // the same VM set (SelfAudit mode), plus the from-scratch self check.
 func (sm *SparseMatrix) verifyDense() error {
@@ -744,7 +889,7 @@ func (sm *SparseMatrix) ColumnShortlist(c, k int) []Placement {
 func BestPlacementWith(ctx *Context, factors []Factor, vm *cluster.VM, opts MatrixOptions) *cluster.PM {
 	if opts.CandidateK > 0 && canonicalDefault(factors) {
 		defer ctx.Obs.Phase("arrival_place").Time()()
-		return ctx.candidates().bestArrival(vm, opts.CandidateK)
+		return ctx.candidatesWith(opts.Workers).bestArrival(vm, opts.CandidateK)
 	}
 	return BestPlacement(ctx, factors, vm)
 }

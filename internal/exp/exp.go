@@ -61,6 +61,15 @@ type Options struct {
 	// schemes ignore it.
 	CandidateK int
 
+	// KernelWorkers bounds the goroutines the dynamic scheme's placement
+	// kernels fan out on inside each run (sim.Config.KernelWorkers /
+	// core.MatrixOptions.Workers). Zero auto-sizes against the
+	// process-wide goroutine budget — which a parallel sweep drains
+	// first, so replication-level parallelism takes precedence over
+	// kernel-level; one forces the serial path; results are bit-identical
+	// at every setting. Static schemes ignore it.
+	KernelWorkers int
+
 	// Cells, when > 1, runs every scheme through the sharded multi-cell
 	// engine (sim.Config.Cells): the fleet is partitioned into that many
 	// cells advanced by the shared-clock orchestrator, with decisions —
@@ -128,11 +137,12 @@ func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, op
 		d.Opts.CandidateK = opts.CandidateK
 	}
 	cfg := sim.Config{
-		DC:       fleet(),
-		Placer:   placer,
-		Requests: reqs,
-		Failures: opts.Failures,
-		Cells:    opts.Cells,
+		DC:            fleet(),
+		Placer:        placer,
+		Requests:      reqs,
+		Failures:      opts.Failures,
+		Cells:         opts.Cells,
+		KernelWorkers: opts.KernelWorkers,
 	}
 	if wantSpare && opts.SpareForDynamic {
 		sc := spare.DefaultConfig()

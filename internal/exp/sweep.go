@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -166,6 +167,13 @@ func RunSweep(opts SweepOptions) (*SweepReport, error) {
 	if workers > nTasks {
 		workers = nTasks
 	}
+	// Charge the replication workers against the process-wide goroutine
+	// budget shared with the in-run kernels (core.MatrixOptions.Workers):
+	// a saturated sweep drains the budget, so auto-sized kernel
+	// parallelism inside the runs stays serial instead of
+	// oversubscribing the host. Explicit per-run kernel counts
+	// (Base.KernelWorkers > 1) still spawn what they were asked for.
+	defer core.ReturnWorkers(core.BorrowWorkers(workers - 1))
 
 	gen := opts.Base.TraceGen
 	if gen == nil {

@@ -83,6 +83,12 @@ type shardedEngine struct {
 	// checkpoint into RestoreState (nil on a cross-C re-shard restore,
 	// where per-cell attribution restarts at zero).
 	restoreDisp []uint64
+
+	// verifySeen is VerifyQueue's duplicate-sequence scratch, kept on the
+	// engine so the per-event audit does not allocate a fresh map for
+	// every check (the map grows to the high-water pending count once and
+	// is cleared in place thereafter).
+	verifySeen map[uint64]struct{}
 }
 
 // route maps an event tag to its owning cell. VM events follow the VM,
@@ -151,7 +157,11 @@ func (sh *shardedEngine) Step() bool {
 // nothing is queued before the global clock. O(pending); used by the
 // auditor's per-event queue check like the monolith's VerifyQueue.
 func (sh *shardedEngine) VerifyQueue() error {
-	seen := make(map[uint64]struct{})
+	if sh.verifySeen == nil {
+		sh.verifySeen = make(map[uint64]struct{})
+	}
+	seen := sh.verifySeen
+	clear(seen)
 	for ci, e := range sh.cells {
 		if err := e.VerifyQueue(); err != nil {
 			return fmt.Errorf("sim: cell %d: %w", ci, err)

@@ -92,6 +92,16 @@ type Config struct {
 	// works.
 	CheckInvariants bool
 
+	// KernelWorkers bounds the goroutines the placement kernels fan out
+	// on inside a run (core.MatrixOptions.Workers): matrix builds, the
+	// sparse candidate sync, and consolidation argmax scans. Zero keeps
+	// the placer's own setting (which itself defaults to auto-sizing
+	// against the process-wide budget); one forces the strictly serial
+	// path; higher values are honored verbatim. Results are bit-identical
+	// at every setting (DESIGN.md §15). Only the dynamic scheme evaluates
+	// matrices, so the knob is a no-op for the static baselines.
+	KernelWorkers int
+
 	// Audit selects the invariant auditor's granularity
 	// (internal/audit): Off disables it, Period runs every check at
 	// control-period boundaries, Event additionally runs the cheap
@@ -126,6 +136,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Cells < 0 {
 		return fmt.Errorf("sim: negative cell count %d", c.Cells)
+	}
+	if c.KernelWorkers < 0 {
+		return fmt.Errorf("sim: negative kernel worker count %d", c.KernelWorkers)
 	}
 	if c.Cells > 1 {
 		if _, err := cell.NewPartition(c.Cells, c.DC.Size()); err != nil {
@@ -246,6 +259,9 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
+	if d, ok := cfg.Placer.(*policy.Dynamic); ok && cfg.KernelWorkers != 0 {
+		d.Opts.Workers = cfg.KernelWorkers
+	}
 	s.eng = newScheduler(cfg.Cells, cfg.DC.Size(), cfg.Obs)
 	s.pctx = core.NewContext(s.dc)
 	s.start()
