@@ -4,7 +4,7 @@ BENCHTIME ?= 300ms
 
 FUZZTIME ?= 10s
 
-.PHONY: test check vet race audit resume-audit sparse-audit cells-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
+.PHONY: test check vet race audit resume-audit sparse-audit cells-audit policy-audit fuzz-smoke bench-smoke bench-kernel bench-paper bench-json bench-diff profile
 
 test:
 	$(GO) test ./...
@@ -72,6 +72,26 @@ cells-audit:
 	$(GO) run ./cmd/tracestat -diff $$tmp/mono.jsonl $$tmp/combined.jsonl && \
 	rm -rf $$tmp
 
+## policy-audit: the decision-recording/replay gate — run the seed
+## workload three ways: plain, recorded (-decisions), and replayed from
+## the recorded log (cmd/counterfact). Recording must leave the run trace
+## canonically byte-identical (the decision stream has its own logical
+## clock), and the replay of the recorded decisions must reproduce the
+## original trace byte-for-byte (`tracestat -diff` exits non-zero on the
+## first differing event, and counterfact exits non-zero on any
+## unexpected divergence from the log).
+POLICY_FLAGS ?= -scheme dynamic -nodes 16 -seed 1 -jobs 400 -spare -timed
+policy-audit:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/dvmpsim $(POLICY_FLAGS) -trace $$tmp/base.jsonl && \
+	$(GO) run ./cmd/dvmpsim $(POLICY_FLAGS) -trace $$tmp/recorded.jsonl \
+		-decisions $$tmp/dec.jsonl && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/base.jsonl $$tmp/recorded.jsonl && \
+	$(GO) run ./cmd/counterfact $(POLICY_FLAGS) -decisions $$tmp/dec.jsonl \
+		-trace $$tmp/replay.jsonl && \
+	$(GO) run ./cmd/tracestat -diff $$tmp/base.jsonl $$tmp/replay.jsonl && \
+	rm -rf $$tmp
+
 ## fuzz-smoke: short randomized fuzz budgets — the audit harness's
 ## randomized-operations differential (internal/audit.FuzzOperations),
 ## the crash-injection resume differential (internal/sim.FuzzSnapshotResume),
@@ -98,9 +118,10 @@ bench-smoke:
 ## the worker-pool fan-outs behind MatrixOptions.Workers run under the
 ## race detector at explicit worker counts), the full-trace audit run,
 ## the sparse-vs-dense differential gate, the checkpoint/resume
-## crash-safety gate, the multi-cell differential gate, a fuzz smoke
-## test, and a one-iteration pass over the kernel benchmarks.
-check: vet race audit sparse-audit resume-audit cells-audit fuzz-smoke bench-smoke
+## crash-safety gate, the multi-cell differential gate, the
+## decision-recording/replay gate, a fuzz smoke test, and a
+## one-iteration pass over the kernel benchmarks.
+check: vet race audit sparse-audit resume-audit cells-audit policy-audit fuzz-smoke bench-smoke
 
 ## bench-kernel: benchstat-friendly kernel micro-benchmarks (kernel vs the
 ## generic Factor path). Pipe to a file and compare runs with

@@ -8,6 +8,7 @@
 //	        [-nodes 100] [-sparse K] [-cells C] [-kernel-workers W]
 //	        [-csv out.csv] [-v]
 //	        [-trace run.jsonl] [-metrics run.metrics.json]
+//	        [-decisions dec.jsonl]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -sparse K routes the dynamic scheme's placement and consolidation
@@ -38,6 +39,14 @@
 // counters, queue-wait histogram, per-phase wall-clock timings) as JSON.
 // Two runs with the same flags produce byte-identical traces once the
 // wall-clock field is stripped (`tracestat -diff` does this).
+//
+// -decisions records every policy decision — arrival placements with
+// their top-k rejected alternatives, consolidation move batches, and
+// spare-pool targets — as a separate JSONL stream (see DESIGN.md §16).
+// The decision stream has its own logical clock, so recording leaves the
+// run trace byte-identical to an unrecorded run (`make policy-audit`
+// pins this). Replay the log, or ask "what if we'd picked alternative
+// #2", with cmd/counterfact.
 //
 // Without -swf a synthetic week calibrated to the paper's Figure 2 is
 // generated from -seed. With -swf, the file is parsed as Standard
@@ -82,9 +91,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dvmpsim", flag.ContinueOnError)
 	var (
-		scheme    = fs.String("scheme", "dynamic", "placement scheme: first-fit, best-fit, worst-fit, random, dynamic")
+		scheme    = fs.String("scheme", "dynamic", "placement scheme: first-fit, best-fit, worst-fit, random, threshold, dynamic, overbook, dynamic-adaptive")
 		swfPath   = fs.String("swf", "", "SWF workload file (default: synthetic week from -seed)")
 		tracePath = fs.String("trace", "", "write the structured JSONL run trace to this file")
+		decPath   = fs.String("decisions", "", "record every placement decision (with top-k alternatives) as JSONL to this file; replay with cmd/counterfact")
 		metrPath  = fs.String("metrics", "", "write the run's metrics registry as JSON to this file")
 		seed      = fs.Int64("seed", 1, "workload / random-scheme seed")
 		sparseK   = fs.Int("sparse", 0, "candidate budget K for the dynamic scheme's sparse placement engine (0 = dense)")
@@ -127,14 +137,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-checkpoint-every and -stop-after need -checkpoint to say where the checkpoint goes")
 	case *sparseK < 0:
 		return fmt.Errorf("-sparse must be >= 0 (got %d)", *sparseK)
-	case *sparseK > 0 && *scheme != "dynamic":
-		return fmt.Errorf("-sparse applies to the dynamic scheme only (got -scheme %s)", *scheme)
 	case *cells < 1:
 		return fmt.Errorf("-cells must be >= 1 (got %d)", *cells)
 	case *cells > *nodes:
 		return fmt.Errorf("-cells must not exceed -nodes: every cell owns at least one PM (got %d cells for %d nodes)", *cells, *nodes)
 	case *kernelW < 0:
 		return fmt.Errorf("-kernel-workers must be >= 0 (got %d)", *kernelW)
+	}
+
+	placer, err := policy.ByName(*scheme, *seed)
+	if err != nil {
+		return err
+	}
+	// Cross-flag checks that depend on the scheme family: the sparse
+	// engine and the kernel-worker knob configure the dynamic scheme's
+	// placement kernels, so with any other scheme they would silently do
+	// nothing — reject them instead. DynamicOf unwraps wrapper policies,
+	// so dynamic-adaptive qualifies.
+	if _, isDyn := policy.DynamicOf(placer); !isDyn {
+		switch {
+		case *sparseK > 0:
+			return fmt.Errorf("-sparse applies to the dynamic scheme family only (got -scheme %s)", *scheme)
+		case *kernelW != 0:
+			return fmt.Errorf("-kernel-workers applies to the dynamic scheme family only (got -scheme %s)", *scheme)
+		}
 	}
 
 	if *cpuProf != "" {
@@ -163,11 +189,7 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	placer, err := policy.ByName(*scheme, *seed)
-	if err != nil {
-		return err
-	}
-	if d, ok := placer.(*policy.Dynamic); ok && *sparseK > 0 {
+	if d, ok := policy.DynamicOf(placer); ok && *sparseK > 0 {
 		d.Opts.CandidateK = *sparseK
 	}
 
@@ -219,7 +241,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var traceFile *os.File
 	var traceBuf *bufio.Writer
-	if *tracePath != "" || *metrPath != "" {
+	if *tracePath != "" || *metrPath != "" || *decPath != "" {
 		cfg.Obs = obs.New()
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
@@ -230,6 +252,21 @@ func run(args []string, out io.Writer) error {
 			traceBuf = bufio.NewWriterSize(f, 1<<16)
 			cfg.Obs.Trace = obs.NewTracer(traceBuf)
 		}
+	}
+	var decFile *os.File
+	var decBuf *bufio.Writer
+	if *decPath != "" {
+		f, err := os.Create(*decPath)
+		if err != nil {
+			return err
+		}
+		decFile = f
+		decBuf = bufio.NewWriterSize(f, 1<<16)
+		cfg.Obs.Decisions = obs.NewTracer(decBuf)
+		// Recording wraps the configured policy; the decision stream has
+		// its own logical clock, so the run trace stays byte-identical to
+		// an unrecorded run (`make policy-audit` pins this).
+		cfg.Placer = policy.NewRecorder(placer.(policy.Policy), 0)
 	}
 	res, stopped, err := runSim(cfg, out, *resumeArg, *ckptPath, uint64(*ckptEvery), uint64(*stopAfter))
 	if traceFile != nil {
@@ -246,6 +283,20 @@ func run(args []string, out io.Writer) error {
 			err = cerr
 		}
 	}
+	if decFile != nil {
+		// Same flush-even-on-failure contract as the run trace: a
+		// decision log that ends at a checkpoint is what counterfact
+		// resumes from.
+		if ferr := decBuf.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if derr := cfg.Obs.Decisions.Err(); derr != nil && err == nil {
+			err = derr
+		}
+		if cerr := decFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -256,6 +307,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *tracePath != "" {
 		fmt.Fprintf(out, "trace: %d events written to %s\n", cfg.Obs.Trace.Events(), *tracePath)
+	}
+	if *decPath != "" {
+		fmt.Fprintf(out, "decisions: %d records written to %s\n", cfg.Obs.Decisions.Events(), *decPath)
 	}
 	if *metrPath != "" {
 		f, err := os.Create(*metrPath)

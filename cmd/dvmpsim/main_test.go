@@ -120,6 +120,52 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestCrossFlagSchemeMatrix table-tests every pairwise combination of
+// scheme and dynamic-family-only flag: -sparse and -kernel-workers
+// configure the dynamic scheme's placement kernels, so they must be
+// rejected (naming the family) for every scheme outside that family and
+// accepted — with a real tiny run — for every scheme inside it.
+func TestCrossFlagSchemeMatrix(t *testing.T) {
+	schemes := []struct {
+		name  string
+		isDyn bool
+	}{
+		{"first-fit", false},
+		{"best-fit", false},
+		{"worst-fit", false},
+		{"random", false},
+		{"threshold", false},
+		{"overbook", false},
+		{"dynamic", true},
+		{"dynamic-adaptive", true},
+	}
+	flags := [][]string{
+		{"-sparse", "8"},
+		{"-kernel-workers", "2"},
+	}
+	for _, s := range schemes {
+		for _, fl := range flags {
+			t.Run(s.name+fl[0], func(t *testing.T) {
+				args := append([]string{"-scheme", s.name, "-nodes", "4", "-jobs", "10"}, fl...)
+				var sb strings.Builder
+				err := run(args, &sb)
+				if s.isDyn {
+					if err != nil {
+						t.Fatalf("%v rejected for dynamic-family scheme: %v", fl, err)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("%v accepted for scheme %s", fl, s.name)
+				}
+				if !strings.Contains(err.Error(), "dynamic scheme family") {
+					t.Errorf("error %q does not name the dynamic scheme family", err)
+				}
+			})
+		}
+	}
+}
+
 // TestRunCheckpointResume drives the flags end to end: stop a run at an
 // event boundary via -stop-after, resume it with -resume, and require
 // the concatenated canonical traces to equal an uninterrupted run's.
@@ -164,6 +210,89 @@ func TestRunCheckpointResume(t *testing.T) {
 	combined := append(read(prefix), read(tail)...)
 	if want := read(full); !bytes.Equal(combined, want) {
 		t.Fatal("resumed trace differs from the uninterrupted run")
+	}
+}
+
+// TestDecisionRecordingLeavesTraceIdentical pins the policy-lab
+// recording contract: the decision stream has its own logical clock, so
+// a run recorded with -decisions must produce a run trace canonically
+// byte-identical to the same run without recording.
+func TestDecisionRecordingLeavesTraceIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	recorded := filepath.Join(dir, "recorded.jsonl")
+	dec := filepath.Join(dir, "dec.jsonl")
+	base := []string{"-scheme", "dynamic", "-nodes", "8", "-seed", "3", "-jobs", "120", "-spare"}
+
+	var sb strings.Builder
+	if err := run(append(base, "-trace", plain), &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run(append(base, "-trace", recorded, "-decisions", dec), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "decisions: ") {
+		t.Fatalf("output missing decision count:\n%s", sb.String())
+	}
+	read := func(p string) []byte {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c bytes.Buffer
+		if err := obs.Canonicalize(bytes.NewReader(data), &c); err != nil {
+			t.Fatal(err)
+		}
+		return c.Bytes()
+	}
+	if !bytes.Equal(read(plain), read(recorded)) {
+		t.Fatal("recording decisions perturbed the run trace")
+	}
+	if info, err := os.Stat(dec); err != nil || info.Size() == 0 {
+		t.Fatalf("decision log missing or empty: %v", err)
+	}
+}
+
+// TestDecisionLogCheckpointResume pins the decision stream's resume
+// contract: stop a recorded run at a checkpoint, resume it recording to
+// a second log, and require the concatenated canonical logs to equal an
+// uninterrupted recording (seq continuity comes from the checkpointed
+// decision clock and recorder counters).
+func TestDecisionLogCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	prefix := filepath.Join(dir, "prefix.jsonl")
+	tail := filepath.Join(dir, "tail.jsonl")
+	ckpt := filepath.Join(dir, "ck.json")
+	base := []string{"-scheme", "dynamic", "-nodes", "8", "-seed", "5", "-jobs", "80", "-spare", "-timed"}
+
+	var sb strings.Builder
+	if err := run(append(base, "-decisions", full), &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run(append(base, "-decisions", prefix, "-checkpoint", ckpt, "-stop-after", "200"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run(append(base, "-decisions", tail, "-resume", ckpt), &sb); err != nil {
+		t.Fatal(err)
+	}
+	read := func(p string) []byte {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c bytes.Buffer
+		if err := obs.Canonicalize(bytes.NewReader(data), &c); err != nil {
+			t.Fatal(err)
+		}
+		return c.Bytes()
+	}
+	combined := append(read(prefix), read(tail)...)
+	if want := read(full); !bytes.Equal(combined, want) {
+		t.Fatal("resumed decision log differs from the uninterrupted recording")
 	}
 }
 

@@ -10,7 +10,7 @@
 //
 //	sweep [-schemes first-fit,best-fit,dynamic] [-reps 8 | -seeds 1,4,9]
 //	      [-workers N] [-nodes 100] [-jobs 0] [-spare] [-sparse K] [-cells C]
-//	      [-kernel-workers W]
+//	      [-kernel-workers W] [-tournament]
 //	      [-o report.json] [-cpuprofile cpu.out] [-memprofile mem.out] [-v]
 //
 // Each seed generates its own synthetic week (the Figure 2 calibration),
@@ -34,6 +34,16 @@
 // honored per run. Results — and the report JSON — are bit-identical at
 // every setting.
 //
+// -tournament scores the roster as a policy tournament instead of printing
+// raw aggregates: each policy is ranked per objective (mean week energy,
+// mean queued fraction, mean migrations) and the ranks combine by Borda
+// count, lower total winning (see README "Policy lab"). Without -schemes
+// the tournament fields the five-policy lab roster (first-fit, best-fit,
+// dynamic, overbook, dynamic-adaptive); -o writes the full standings plus
+// the underlying sweep as JSON. Scheme names are validated up front, and
+// -sparse/-kernel-workers are rejected unless the roster includes a
+// dynamic-family scheme they could apply to.
+//
 // The -cpuprofile and -memprofile flags capture runtime/pprof profiles of
 // the whole sweep for `go tool pprof`, mirroring cmd/dvmpsim; with more
 // than one worker the CPU profile shows the placement hot path replicated
@@ -55,6 +65,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -81,6 +92,7 @@ func run(args []string, out io.Writer) error {
 		outPath     = fs.String("o", "", "write the merged report as JSON to this file (- for stdout)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf     = fs.String("memprofile", "", "write an end-of-sweep heap profile to this file")
+		tournament  = fs.Bool("tournament", false, "score the schemes as a policy tournament: per-objective ranks (energy, violations, migrations) combined by Borda count (default roster: the five-policy lab lineup)")
 		verbose     = fs.Bool("v", false, "print every run, not just the per-scheme aggregates")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,6 +123,35 @@ func run(args []string, out io.Writer) error {
 	seeds, err := parseSeeds(*seedsFlag, *reps)
 	if err != nil {
 		return err
+	}
+	// Validate the effective scheme list eagerly: a bad name or a
+	// dynamic-only flag paired with an all-static roster should fail
+	// here with the offending scheme named, not minutes into the sweep.
+	effective := schemes
+	if len(effective) == 0 {
+		if *tournament {
+			effective = exp.DefaultTournamentPolicies()
+		} else {
+			effective = []string{"first-fit", "best-fit", "dynamic"}
+		}
+	}
+	anyDyn := false
+	for _, s := range effective {
+		p, err := policy.ByName(s, 1)
+		if err != nil {
+			return err
+		}
+		if _, ok := policy.DynamicOf(p); ok {
+			anyDyn = true
+		}
+	}
+	if !anyDyn {
+		switch {
+		case *sparseK > 0:
+			return fmt.Errorf("-sparse applies to the dynamic scheme family only (schemes: %s)", strings.Join(effective, ","))
+		case *kernelW != 0:
+			return fmt.Errorf("-kernel-workers applies to the dynamic scheme family only (schemes: %s)", strings.Join(effective, ","))
+		}
 	}
 
 	if *cpuProf != "" {
@@ -154,6 +195,10 @@ func run(args []string, out io.Writer) error {
 	if *nodes != 100 {
 		n := *nodes
 		opts.Base.Fleet = func() *cluster.Datacenter { return cluster.TableIIFleetScaled(n) }
+	}
+
+	if *tournament {
+		return runTournament(opts, schemes, *workers, *outPath, out)
 	}
 
 	effWorkers := *workers
@@ -201,6 +246,53 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nwrote %s\n", *outPath)
+	}
+	return nil
+}
+
+// runTournament scores the roster on multi-objective fitness and prints
+// the standings (see exp.RunTournament; the report is byte-identical at
+// every worker count, so -o output is machine-comparable).
+func runTournament(opts exp.SweepOptions, schemes []string, workers int, outPath string, out io.Writer) error {
+	start := time.Now()
+	report, err := exp.RunTournament(exp.TournamentOptions{
+		Base:     opts.Base,
+		Policies: schemes, // nil -> the default five-policy roster
+		Seeds:    opts.Seeds,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	sweep := report.Sweep
+	fmt.Fprintf(out, "tournament: %d runs (%d policies x %d seeds) on %d workers in %.2fs\n\n",
+		len(sweep.Runs), len(sweep.Schemes), len(sweep.Seeds), workers, elapsed.Seconds())
+	fmt.Fprintf(out, "%4s %-18s %6s %14s %5s %12s %5s %12s %5s\n",
+		"rank", "policy", "score", "energy kWh", "r", "violations", "r", "migrations", "r")
+	for _, s := range report.Scores {
+		fmt.Fprintf(out, "%4d %-18s %6d %14.1f %5d %11.2f%% %5d %12.1f %5d\n",
+			s.Rank, s.Scheme, s.TotalScore,
+			s.EnergyMean, s.EnergyRank,
+			s.ViolationMean*100, s.ViolationRank,
+			s.MigrationsMean, s.MigrationRank)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if outPath == "-" {
+			_, err := out.Write(data)
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", outPath)
 	}
 	return nil
 }

@@ -54,6 +54,90 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestCrossFlagSchemeMatrix mirrors dvmpsim's pairwise table: -sparse
+// and -kernel-workers only configure dynamic-family kernels, so a sweep
+// whose roster contains no such scheme must reject them up front (before
+// any run starts), while any roster containing one accepts them.
+func TestCrossFlagSchemeMatrix(t *testing.T) {
+	schemes := []struct {
+		name  string
+		isDyn bool
+	}{
+		{"first-fit", false},
+		{"best-fit", false},
+		{"worst-fit", false},
+		{"random", false},
+		{"threshold", false},
+		{"overbook", false},
+		{"dynamic", true},
+		{"dynamic-adaptive", true},
+	}
+	flags := [][]string{
+		{"-sparse", "8"},
+		{"-kernel-workers", "2"},
+	}
+	for _, s := range schemes {
+		for _, fl := range flags {
+			t.Run(s.name+fl[0], func(t *testing.T) {
+				args := append([]string{
+					"-schemes", s.name, "-reps", "1", "-nodes", "8", "-jobs", "10", "-workers", "1",
+				}, fl...)
+				var sb strings.Builder
+				err := run(args, &sb)
+				if s.isDyn {
+					if err != nil {
+						t.Fatalf("%v rejected for dynamic-family scheme: %v", fl, err)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("%v accepted for all-static roster %s", fl, s.name)
+				}
+				if !strings.Contains(err.Error(), "dynamic scheme family") {
+					t.Errorf("error %q does not name the dynamic scheme family", err)
+				}
+			})
+		}
+	}
+	// A mixed roster with one dynamic-family member accepts both flags.
+	var sb strings.Builder
+	if err := run([]string{
+		"-schemes", "first-fit,dynamic-adaptive", "-reps", "1", "-nodes", "8", "-jobs", "10",
+		"-workers", "1", "-sparse", "8", "-kernel-workers", "2",
+	}, &sb); err != nil {
+		t.Fatalf("mixed roster rejected dynamic-family flags: %v", err)
+	}
+}
+
+// TestRunTournament pins the -tournament path: the default roster runs,
+// the standings table lists every policy with a rank, and -o writes the
+// full report JSON.
+func TestRunTournament(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tournament.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-tournament", "-reps", "2", "-nodes", "8", "-jobs", "20", "-workers", "1", "-o", path,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"tournament:", "rank", "first-fit", "best-fit", "dynamic", "overbook", "dynamic-adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("standings missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scores", "TotalScore", "Sweep"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report JSON missing %q", want)
+		}
+	}
+}
+
 // TestRunSmallSweep exercises the happy path end to end on a tiny sweep.
 func TestRunSmallSweep(t *testing.T) {
 	var sb strings.Builder

@@ -21,7 +21,11 @@
 // part of a trace) and then requires the two traces to be byte-identical;
 // the first divergence is printed and the exit status is nonzero. Two
 // same-seed runs of the same binary must pass this — it is the CLI face
-// of the repo's determinism guarantee.
+// of the repo's determinism guarantee. Damaged inputs fail loudly rather
+// than vacuously agreeing: an empty file, a line of invalid JSON, or a
+// run_start header with no run_end footer each exit nonzero with the
+// reason named (two empty traces are byte-identical, and before this
+// check -diff happily certified them as a passing determinism audit).
 package main
 
 import (
@@ -279,6 +283,11 @@ func diffTraces(pathA, pathB string, out io.Writer) error {
 	return nil
 }
 
+// canonicalLines loads a trace for diffing, with integrity checks: an
+// empty file, a line of invalid JSON (the signature of a run killed
+// mid-write), or a run_start header with no run_end footer each fail
+// with a named reason. A damaged trace must never diff as "identical" —
+// two empty files agree byte-for-byte and would otherwise pass.
 func canonicalLines(path string) ([][]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -286,13 +295,35 @@ func canonicalLines(path string) ([][]byte, error) {
 	}
 	defer f.Close()
 	var lines [][]byte
+	var firstEvent, lastEvent string
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s:%d: invalid JSON (truncated or corrupt trace): %w", path, lineNo, err)
+		}
+		if len(lines) == 0 {
+			firstEvent = ev.Event
+		}
+		lastEvent = ev.Event
 		lines = append(lines, obs.CanonicalLine(sc.Bytes()))
 	}
-	return lines, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%s: empty trace (no events)", path)
+	}
+	if firstEvent == "run_start" && lastEvent != "run_end" {
+		return nil, fmt.Errorf("%s: truncated trace: run_start without run_end (%d events)", path, len(lines))
+	}
+	return lines, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -161,6 +162,55 @@ func TestDiffDifferentSeeds(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "diverge") && !strings.Contains(sb.String(), "lengths differ") {
 		t.Errorf("diff output missing divergence report:\n%s", sb.String())
+	}
+}
+
+// TestDiffRejectsDamagedTraces pins the -diff integrity contract: a
+// damaged trace must exit nonzero with the reason named, never agree
+// vacuously. Before the check, two empty files — say, from a run killed
+// before its first flush — diffed as "traces identical: 0 events".
+func TestDiffRejectsDamagedTraces(t *testing.T) {
+	good := writeTrace(t, 7)
+	goodData, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	empty := write("empty.jsonl", nil)
+	blank := write("blank.jsonl", []byte("\n\n  \n"))
+	// Truncate mid-line so the tail is invalid JSON.
+	truncated := write("truncated.jsonl", goodData[:len(goodData)-20])
+	// Header-only: the run_start line with no run_end footer — every
+	// line valid JSON, but the run never finished.
+	headerOnly := write("header.jsonl", goodData[:bytes.IndexByte(goodData, '\n')+1])
+
+	cases := []struct {
+		name, a, b, want string
+	}{
+		{"empty-vs-empty", empty, empty, "empty trace"},
+		{"empty-vs-good", empty, good, "empty trace"},
+		{"blank-only", blank, good, "empty trace"},
+		{"truncated", good, truncated, "invalid JSON"},
+		{"header-only", headerOnly, good, "run_start without run_end"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run([]string{"-diff", tc.a, tc.b}, &sb)
+			if err == nil {
+				t.Fatalf("damaged trace diffed clean:\n%s", sb.String())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the damage (want %q)", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -135,6 +135,18 @@ type MatrixOptions struct {
 	// every setting (DESIGN.md §15), so the knob trades goroutines for
 	// wall clock, never determinism.
 	Workers int
+
+	// DecisionHook, when set, observes every Algorithm 1 migration just
+	// before it is applied: the move itself plus the column's ranked
+	// non-host alternatives (probability normalized by the column's
+	// current placement, so scores are the gains Algorithm 1 compares;
+	// the head is the chosen target; depth is at most the per-column
+	// list depth, currently 4). The hook runs on both the dense and the
+	// sparse engine with identical chosen moves; alternative-list depth
+	// may differ cosmetically between engines (the dense list shrinks
+	// conservatively mid-pass, the sparse shortlist is always exact).
+	// Observation only: the hook must not mutate simulation state.
+	DecisionHook func(round int, mv Move, alts []Placement)
 }
 
 // NewMatrix builds the probability matrix over the data center's active
@@ -339,6 +351,41 @@ func (m *Matrix) CurProb(c int) float64 { return m.curProb[c] }
 // audit subsystem compares these trackers against the frozen oracle.
 func (m *Matrix) BestAlt(c int) (row int, gain float64) {
 	return m.bestRow[c], m.bestGain[c]
+}
+
+// ColumnAlternatives returns column c's tracked non-host candidates as
+// ranked placements, truncated to at most k entries: the per-column
+// exact list (probability desc, row asc) with each probability
+// normalized by the column's current placement, so scores are directly
+// comparable to MIG_threshold. When the current placement has
+// probability 0 the list collapses to the single tracked rescue row
+// with +Inf gain (mirroring Normalized). Returns nil when the column
+// has no positive alternative. Decision recording uses this to capture
+// the top-k rejected alternatives alongside each migration.
+func (m *Matrix) ColumnAlternatives(c, k int) []Placement {
+	cur := m.curProb[c]
+	if cur <= 0 {
+		if r := m.bestRow[c]; r >= 0 {
+			return []Placement{{PM: m.pms[r], Probability: math.Inf(1)}}
+		}
+		return nil
+	}
+	n := int(m.topLen[c])
+	if k > 0 && n > k {
+		n = k
+	}
+	if n <= 0 {
+		return nil
+	}
+	base := c * topK
+	out := make([]Placement, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Placement{
+			PM:          m.pms[m.topRows[base+i]],
+			Probability: m.topPs[base+i] / cur,
+		})
+	}
+	return out
 }
 
 // Normalized returns d_rc = p_rc / p_(current host of c), the column-

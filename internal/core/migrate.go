@@ -80,6 +80,11 @@ func ConsolidateWith(ctx *Context, factors []Factor, params Params, opts MatrixO
 		}
 		vm := m.vms[c]
 		from := vm.Host
+		if opts.DecisionHook != nil {
+			opts.DecisionHook(round,
+				Move{VM: vm.ID, From: from, To: m.pms[r].ID, Gain: gain, Round: round},
+				m.ColumnAlternatives(c, topK))
+		}
 		if err := m.Apply(r, c); err != nil {
 			stop()
 			return moves, err

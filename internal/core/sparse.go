@@ -882,6 +882,27 @@ func (sm *SparseMatrix) ColumnShortlist(c, k int) []Placement {
 	return out
 }
 
+// columnAlternatives is the sparse twin of Matrix.ColumnAlternatives:
+// the column shortlist with each probability normalized by the current
+// placement, collapsing to the single tracked rescue row with +Inf gain
+// when the current placement has probability 0. The decision hook in
+// consolidateSparse uses it so recorded alternatives carry the same
+// gain scale as the dense engine.
+func (sm *SparseMatrix) columnAlternatives(c, k int) []Placement {
+	cur := sm.curProb[c]
+	if cur <= 0 {
+		if r := sm.bestRow[c]; r >= 0 {
+			return []Placement{{PM: sm.pms[r], Probability: math.Inf(1)}}
+		}
+		return nil
+	}
+	out := sm.ColumnShortlist(c, k)
+	for i := range out {
+		out[i].Probability /= cur
+	}
+	return out
+}
+
 // BestPlacementWith is BestPlacement with explicit matrix options: with
 // CandidateK > 0 and the canonical factor program the argmax comes from
 // the candidate index (bit-identical to the dense scan by construction);
@@ -925,6 +946,11 @@ func consolidateSparse(ctx *Context, factors []Factor, params Params, opts Matri
 		}
 		vm := sm.vms[c]
 		from := vm.Host
+		if opts.DecisionHook != nil {
+			opts.DecisionHook(round,
+				Move{VM: vm.ID, From: from, To: sm.pms[r].ID, Gain: gain, Round: round},
+				sm.columnAlternatives(c, topK))
+		}
 		if err := sm.Apply(r, c); err != nil {
 			stop()
 			return moves, err

@@ -125,7 +125,8 @@ func RunScheme(name string, reqs []workload.Request, opts Options) (*SchemeRun, 
 	if err != nil {
 		return nil, err
 	}
-	return runPlacer(placer, name == "dynamic", reqs, opts)
+	_, isDyn := policy.DynamicOf(placer)
+	return runPlacer(placer, isDyn, reqs, opts)
 }
 
 func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, opts Options) (*SchemeRun, error) {
@@ -133,7 +134,7 @@ func runPlacer(placer policy.Placer, wantSpare bool, reqs []workload.Request, op
 	if fleet == nil {
 		fleet = cluster.TableIIFleet
 	}
-	if d, ok := placer.(*policy.Dynamic); ok && opts.CandidateK > 0 {
+	if d, ok := policy.DynamicOf(placer); ok && opts.CandidateK > 0 {
 		d.Opts.CandidateK = opts.CandidateK
 	}
 	cfg := sim.Config{

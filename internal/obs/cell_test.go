@@ -78,6 +78,123 @@ func TestEmitRejectsReservedCellKey(t *testing.T) {
 	tr.Emit(0, "x", I("cell", 1))
 }
 
+// TestObserveScopedCellHistograms pins the histogram counterpart of the
+// PR-8 counter fix: ObserveScoped double-books samples into per-cell
+// "@cellK" histograms so cells never share a sink, and the per-cell
+// sums and counts partition the base histogram's exactly.
+func TestObserveScopedCellHistograms(t *testing.T) {
+	o := New()
+	bounds := []float64{1, 10, 100}
+
+	o.ObserveScoped("x.wait", bounds, 0.5) // unscoped: base only
+	o.EnterCell(0)
+	o.ObserveScoped("x.wait", bounds, 2)
+	o.ObserveScoped("x.wait", bounds, 3)
+	o.LeaveCell()
+	o.EnterCell(1)
+	o.ObserveScoped("x.wait", bounds, 50)
+	o.LeaveCell()
+	o.ObserveScoped("x.wait", bounds, 200) // unscoped overflow sample
+
+	base := o.Reg.Histogram("x.wait", bounds)
+	c0 := o.Reg.Histogram("x.wait@cell0", bounds)
+	c1 := o.Reg.Histogram("x.wait@cell1", bounds)
+
+	if got := base.Count(); got != 5 {
+		t.Errorf("base count = %d, want 5", got)
+	}
+	if got := base.Sum(); got != 255.5 {
+		t.Errorf("base sum = %g, want 255.5", got)
+	}
+	if got, want := c0.Count(), int64(2); got != want {
+		t.Errorf("@cell0 count = %d, want %d", got, want)
+	}
+	if got := c0.Sum(); got != 5 {
+		t.Errorf("@cell0 sum = %g, want 5", got)
+	}
+	if got, want := c1.Count(), int64(1); got != want {
+		t.Errorf("@cell1 count = %d, want %d", got, want)
+	}
+	if got := c1.Sum(); got != 50 {
+		t.Errorf("@cell1 sum = %g, want 50", got)
+	}
+	// Per-cell buckets partition the scoped share of the base exactly.
+	for i := 0; i <= len(bounds); i++ {
+		cells := c0.Bucket(i) + c1.Bucket(i)
+		if cells > base.Bucket(i) {
+			t.Errorf("bucket %d: cell total %d exceeds base %d", i, cells, base.Bucket(i))
+		}
+	}
+
+	// A zero-valued Observer literal degrades to a plain observe (no
+	// spurious @cell0 twin), and a nil registry is a no-op.
+	lit := Observer{Reg: NewRegistry()}
+	lit.ObserveScoped("y.wait", bounds, 7)
+	if got := lit.Reg.Histogram("y.wait", bounds).Count(); got != 1 {
+		t.Errorf("literal observer base count = %d, want 1", got)
+	}
+	if got := lit.Reg.Histogram("y.wait@cell0", bounds).Count(); got != 0 {
+		t.Errorf("literal observer booked a @cell0 twin: count %d", got)
+	}
+	var nilObs *Observer
+	nilObs.ObserveScoped("z", bounds, 1) // must not panic
+}
+
+// TestDecisionStreamIsolated pins the decision log's independence from
+// the run trace: its own seq clock starting at 0, no cell stamp even
+// while the run trace is cell-scoped, and EmitDecision is inert without
+// a Decisions tracer.
+func TestDecisionStreamIsolated(t *testing.T) {
+	var runBuf, decBuf bytes.Buffer
+	o := NewTracing(&runBuf)
+	o.Decisions = NewTracer(&decBuf)
+	fixedWall(o.Trace, 42)
+	fixedWall(o.Decisions, 42)
+
+	if !o.DecisionTracing() {
+		t.Fatal("DecisionTracing false with a Decisions tracer set")
+	}
+
+	o.Emit(1, "run_event")
+	o.EnterCell(2)
+	o.Emit(2, "scoped_run_event")
+	o.EmitDecision(2, "decision_place", I("vm", 7))
+	o.LeaveCell()
+	o.EmitDecision(3, "decision_spare", I("spares", 1))
+
+	dec := strings.Split(strings.TrimSpace(decBuf.String()), "\n")
+	if len(dec) != 2 {
+		t.Fatalf("decision stream has %d lines, want 2", len(dec))
+	}
+	// Independent seq clock: decisions number from 0 even though the run
+	// trace already consumed seqs.
+	if !strings.Contains(dec[0], `"seq":0,`) || !strings.Contains(dec[1], `"seq":1,`) {
+		t.Errorf("decision seqs not independent: %q", dec)
+	}
+	// No cell stamp leaks into the decision stream.
+	for _, line := range dec {
+		if strings.Contains(line, `"cell":`) {
+			t.Errorf("decision line carries a cell stamp: %s", line)
+		}
+	}
+	// The run trace still got its stamp (the scope applies there only).
+	if !bytes.Contains(runBuf.Bytes(), []byte(`,"cell":2,`)) {
+		t.Errorf("run trace lost its cell stamp: %s", runBuf.String())
+	}
+
+	// Without a Decisions tracer both helpers are inert.
+	plain := New()
+	if plain.DecisionTracing() {
+		t.Error("DecisionTracing true without a Decisions tracer")
+	}
+	plain.EmitDecision(1, "decision_place") // no-op, must not panic
+	var nilObs *Observer
+	nilObs.EmitDecision(1, "decision_place")
+	if nilObs.DecisionTracing() {
+		t.Error("nil observer reports decision tracing")
+	}
+}
+
 // TestObserverCellScope pins the observer-level scope: EnterCell routes
 // the scope to AddScoped (base counter plus a @cellK twin) and to the
 // tracer; LeaveCell ends it; a zero-valued Observer literal reports no

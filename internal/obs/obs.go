@@ -32,6 +32,17 @@ type Observer struct {
 	// keeping metrics.
 	Trace *Tracer
 
+	// Decisions receives the policy lab's structured decision records
+	// (decision_place / decision_moves / decision_spare, emitted by
+	// policy.Recorder) on a stream separate from the run trace. The
+	// separation is deliberate: the decision log has its own logical
+	// clock, so recording decisions never perturbs the run trace's "seq"
+	// numbering — a recorded run stays byte-identical to an unrecorded
+	// one (`make policy-audit` pins this). Decision lines never carry
+	// the multi-cell stamp either: decisions are bit-identical across
+	// cell counts, so the log is canonical by construction.
+	Decisions *Tracer
+
 	// cellPlus1 is the active cell scope plus one; zero means no scope.
 	// The offset keeps a literal-constructed Observer{} (scope never
 	// set) from silently reporting cell 0. Set via EnterCell/LeaveCell
@@ -123,6 +134,24 @@ func (o *Observer) AddScoped(name string, n int64) {
 	}
 }
 
+// ObserveScoped records v into the named histogram and, when a cell
+// scope is active, into the per-cell "<name>@cellK" histogram as well —
+// the histogram counterpart of AddScoped. The base histogram always
+// carries the global distribution, so existing consumers are unchanged;
+// the suffixed histograms add the per-cell breakdown without any shared
+// sink between cells (their bucket counts and sums partition the
+// base's exactly). Bounds are fixed at first creation, so every call
+// site for one name must pass the same bounds.
+func (o *Observer) ObserveScoped(name string, bounds []float64, v float64) {
+	if o == nil || o.Reg == nil {
+		return
+	}
+	o.Reg.Histogram(name, bounds).Observe(v)
+	if o.cellPlus1 > 0 {
+		o.Reg.Histogram(name+o.cellSuffix(o.cellPlus1-1), bounds).Observe(v)
+	}
+}
+
 // cellSuffix returns the cached "@cellK" label for cell c.
 func (o *Observer) cellSuffix(c int) string {
 	for len(o.cellNames) <= c {
@@ -162,4 +191,21 @@ func (o *Observer) Emit(t float64, event string, fields ...KV) {
 		return
 	}
 	o.Trace.Emit(t, event, fields...)
+}
+
+// DecisionTracing reports whether decision records are being collected;
+// policy.Recorder uses it to skip payload assembly entirely when the
+// decision log is off.
+func (o *Observer) DecisionTracing() bool {
+	return o != nil && o.Decisions != nil
+}
+
+// EmitDecision writes one decision record when decision tracing is
+// enabled. The record goes to the Decisions tracer only — never the run
+// trace — so its sequence numbering is independent of run events.
+func (o *Observer) EmitDecision(t float64, event string, fields ...KV) {
+	if o == nil || o.Decisions == nil {
+		return
+	}
+	o.Decisions.Emit(t, event, fields...)
 }

@@ -8,6 +8,7 @@ package policy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -31,6 +32,127 @@ type Placer interface {
 	// arrivals, departures, and PM failures per Section III.C) and
 	// returns the executed moves. Static schemes return nil.
 	Consolidate(ctx *core.Context) ([]core.Move, error)
+}
+
+// Policy is the full decision surface of a placement strategy: the
+// Placer decision points (arrival placement, consolidation move
+// selection) plus alternative enumeration for decision tracing and the
+// spare-pool control point. Every scheme in this package implements
+// Policy; Placer remains the minimal driving interface so external
+// implementations are not forced to rank alternatives.
+type Policy interface {
+	Placer
+
+	// Alternatives ranks the scheme's top-k candidate PMs for placing
+	// vm, best first, using the scheme's own preference metric as the
+	// score (utilization for the fit family, normalized probability for
+	// dynamic). The head is the PM Place would choose (when any
+	// candidate exists). Must be read-only — in particular it must not
+	// advance scheme-internal state such as Random's RNG stream, so
+	// recording alternatives never perturbs the run. k <= 0 means
+	// unbounded.
+	Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement
+
+	// SpareTarget is the spare-pool control point: given the baseline
+	// controller's planned spare count, return the scheme's target.
+	// Stock schemes return the baseline unchanged (so existing traces
+	// are byte-identical); overbooking shrinks it by the booking ratio.
+	SpareTarget(ctx *core.Context, baseline int) int
+}
+
+// Unwrapper is implemented by policies that wrap another (Recorder,
+// Replay, Adaptive). DynamicOf and RandomOf walk the chain so the
+// simulator's concrete-type integrations (kernel workers, audit hooks,
+// RNG checkpointing) keep working through any wrapper.
+type Unwrapper interface {
+	// Unwrap returns the wrapped Placer.
+	Unwrap() Placer
+}
+
+// DynamicOf returns the *Dynamic at the core of p, unwrapping any
+// wrapper chain, and whether one was found.
+func DynamicOf(p Placer) (*Dynamic, bool) {
+	for p != nil {
+		if d, ok := p.(*Dynamic); ok {
+			return d, true
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		p = u.Unwrap()
+	}
+	return nil, false
+}
+
+// RandomOf returns the *Random at the core of p, unwrapping any wrapper
+// chain, and whether one was found.
+func RandomOf(p Placer) (*Random, bool) {
+	for p != nil {
+		if r, ok := p.(*Random); ok {
+			return r, true
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		p = u.Unwrap()
+	}
+	return nil, false
+}
+
+// Compile-time checks: every scheme in this package is a full Policy.
+var (
+	_ Policy = FirstFit{}
+	_ Policy = BestFit{}
+	_ Policy = WorstFit{}
+	_ Policy = (*Random)(nil)
+	_ Policy = (*Dynamic)(nil)
+	_ Policy = (*Threshold)(nil)
+	_ Policy = (*Overbook)(nil)
+	_ Policy = (*Adaptive)(nil)
+	_ Policy = (*Recorder)(nil)
+	_ Policy = (*Replay)(nil)
+)
+
+// truncate caps a ranked placement list at k (k <= 0 means unbounded).
+func truncate(out []core.Placement, k int) []core.Placement {
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// rankByUtil ranks the feasible active PMs for vm by prospective
+// utilization (desc when bestFirst, else asc), ties toward the lower PM
+// ID; scores carry the utilization. Shared by the fit-family
+// Alternatives implementations.
+func rankByUtil(ctx *core.Context, vm *cluster.VM, k int, bestFirst bool) []core.Placement {
+	var out []core.Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if !feasible(pm, vm.Demand) {
+			continue
+		}
+		u := vector.Utilization(pm.Used.Add(vm.Demand), pm.Class.Capacity)
+		out = append(out, core.Placement{PM: pm, Probability: u})
+	}
+	sortPlacements(out, bestFirst)
+	return truncate(out, k)
+}
+
+// sortPlacements orders placements by score (desc when bestFirst, else
+// asc), ties toward the lower PM ID. ActivePMs iterates in ID order, so
+// a stable sort keeps ties ID-ordered.
+func sortPlacements(out []core.Placement, bestFirst bool) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			if bestFirst {
+				return out[i].Probability > out[j].Probability
+			}
+			return out[i].Probability < out[j].Probability
+		}
+		return out[i].PM.ID < out[j].PM.ID
+	})
 }
 
 // feasible reports whether pm can host demand right now.
@@ -58,6 +180,21 @@ func (FirstFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 
 // Consolidate implements Placer (static schemes never migrate).
 func (FirstFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// Alternatives implements Policy: feasible PMs in ID order (first-fit's
+// own preference order), unit scores.
+func (FirstFit) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	var out []core.Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if feasible(pm, vm.Demand) {
+			out = append(out, core.Placement{PM: pm, Probability: 1})
+		}
+	}
+	return truncate(out, k)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (FirstFit) SpareTarget(_ *core.Context, baseline int) int { return baseline }
 
 // BestFit places each request on the feasible PM whose utilization after
 // placement would be highest — the paper's second static baseline ("the PM
@@ -87,6 +224,15 @@ func (BestFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 // Consolidate implements Placer.
 func (BestFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
 
+// Alternatives implements Policy: feasible PMs by prospective
+// utilization, highest first.
+func (BestFit) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	return rankByUtil(ctx, vm, k, true)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (BestFit) SpareTarget(_ *core.Context, baseline int) int { return baseline }
+
 // WorstFit places each request on the feasible PM with the most headroom
 // (lowest prospective utilization) — a load-spreading anti-consolidation
 // baseline for ablations.
@@ -113,6 +259,15 @@ func (WorstFit) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 
 // Consolidate implements Placer.
 func (WorstFit) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// Alternatives implements Policy: feasible PMs by prospective
+// utilization, lowest first (most headroom wins).
+func (WorstFit) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	return rankByUtil(ctx, vm, k, false)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (WorstFit) SpareTarget(_ *core.Context, baseline int) int { return baseline }
 
 // Random places each request on a uniformly random feasible PM. Seeded, so
 // runs remain reproducible.
@@ -158,6 +313,23 @@ func (r *Random) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 
 // Consolidate implements Placer.
 func (*Random) Consolidate(*core.Context) ([]core.Move, error) { return nil, nil }
+
+// Alternatives implements Policy: the feasible candidate set in ID
+// order with unit scores. Deliberately does NOT draw from the RNG —
+// Alternatives must be side-effect-free so that recording them leaves
+// the placement draw sequence (and therefore the run trace) untouched.
+func (r *Random) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	var out []core.Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if feasible(pm, vm.Demand) {
+			out = append(out, core.Placement{PM: pm, Probability: 1})
+		}
+	}
+	return truncate(out, k)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (*Random) SpareTarget(_ *core.Context, baseline int) int { return baseline }
 
 // Dynamic is the paper's statistical dynamic placement scheme: arrivals go
 // to the highest-joint-probability PM (the new-request column of the
@@ -236,6 +408,21 @@ func (d *Dynamic) Consolidate(ctx *core.Context) ([]core.Move, error) {
 	return core.ConsolidateWith(ctx, d.factors(), d.Params, d.Opts)
 }
 
+// Alternatives implements Policy: the arrival column's ranked joint
+// probabilities (the sparse shortlist when the candidate index covers
+// the factor program, the dense ranking otherwise), truncated to k.
+func (d *Dynamic) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	if d.Opts.CandidateK > 0 {
+		if out, ok := core.ArrivalShortlist(ctx, d.factors(), vm, k); ok {
+			return out
+		}
+	}
+	return truncate(core.RankPlacements(ctx, d.factors(), vm), k)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (*Dynamic) SpareTarget(_ *core.Context, baseline int) int { return baseline }
+
 // ByName constructs a scheme from its report name; seed feeds the Random
 // scheme. Unknown names return an error listing the options.
 func ByName(name string, seed int64) (Placer, error) {
@@ -252,7 +439,11 @@ func ByName(name string, seed int64) (Placer, error) {
 		return NewDynamic(), nil
 	case "threshold":
 		return NewThreshold(), nil
+	case "overbook":
+		return NewOverbook(), nil
+	case "dynamic-adaptive":
+		return NewAdaptive(), nil
 	default:
-		return nil, fmt.Errorf("policy: unknown scheme %q (want first-fit, best-fit, worst-fit, random, threshold, or dynamic)", name)
+		return nil, fmt.Errorf("policy: unknown scheme %q (want first-fit, best-fit, worst-fit, random, threshold, dynamic, overbook, or dynamic-adaptive)", name)
 	}
 }

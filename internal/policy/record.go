@@ -1,0 +1,253 @@
+package policy
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Recorder wraps a Policy and writes every decision it makes — arrival
+// placements, consolidation moves, spare-pool targets — to the
+// observer's decision stream, each with the top-K rejected alternatives
+// the scheme considered. The wrapped policy's behavior is unchanged:
+// alternatives are enumerated through the side-effect-free Alternatives
+// surface (and, for the dynamic family, a read-only core.DecisionHook),
+// so a recorded run's trace is byte-identical to an unrecorded one
+// (`make policy-audit` pins this).
+//
+// Decision records are the input to Replay and cmd/counterfact; their
+// schema is documented in DESIGN.md §16.
+type Recorder struct {
+	// P is the wrapped policy.
+	P Policy
+
+	// K is the alternative-list depth per decision.
+	K int
+
+	// call counts Consolidate invocations and tick counts SpareTarget
+	// invocations; both key their records so Replay can line resumed
+	// logs up exactly. Checkpointed via RecorderState.
+	call, tick uint64
+}
+
+// NewRecorder wraps p with decision recording at alternative depth k
+// (<= 0 selects the default depth 3).
+func NewRecorder(p Policy, k int) *Recorder {
+	if k <= 0 {
+		k = 3
+	}
+	return &Recorder{P: p, K: k}
+}
+
+// Name implements Placer: a recorded run reports the wrapped scheme's
+// name (recording is instrumentation, not a scheme).
+func (rec *Recorder) Name() string { return rec.P.Name() }
+
+// Unwrap implements Unwrapper.
+func (rec *Recorder) Unwrap() Placer { return rec.P }
+
+// Place implements Placer: enumerate alternatives first (read-only),
+// then delegate, then record both.
+func (rec *Recorder) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
+	if !ctx.Obs.DecisionTracing() {
+		return rec.P.Place(ctx, vm)
+	}
+	alts := rec.P.Alternatives(ctx, vm, rec.K)
+	pm := rec.P.Place(ctx, vm)
+	pmID := int64(-1)
+	if pm != nil {
+		pmID = int64(pm.ID)
+	}
+	ctx.Obs.EmitDecision(ctx.Now, "decision_place",
+		obs.I("vm", int64(vm.ID)),
+		obs.I("pm", pmID),
+		obs.S("alts", encodeAlts(alts)),
+	)
+	return pm
+}
+
+// Consolidate implements Placer: for the dynamic family a read-only
+// core.DecisionHook captures each move's column alternatives as the
+// Algorithm 1 loop runs; other schemes record their moves without
+// alternatives. Passes with zero moves are not recorded — Replay keys
+// records by the invocation counter, so a missing record is a
+// legitimate empty pass, not divergence.
+func (rec *Recorder) Consolidate(ctx *core.Context) ([]core.Move, error) {
+	call := rec.call
+	rec.call++
+	if !ctx.Obs.DecisionTracing() {
+		return rec.P.Consolidate(ctx)
+	}
+	var alts [][]core.Placement
+	if d, ok := DynamicOf(rec.P); ok {
+		prev := d.Opts.DecisionHook
+		d.Opts.DecisionHook = func(round int, mv core.Move, a []core.Placement) {
+			if prev != nil {
+				prev(round, mv, a)
+			}
+			alts = append(alts, a)
+		}
+		defer func() { d.Opts.DecisionHook = prev }()
+	}
+	moves, err := rec.P.Consolidate(ctx)
+	if len(moves) > 0 {
+		ctx.Obs.EmitDecision(ctx.Now, "decision_moves",
+			obs.I("call", int64(call)),
+			obs.S("moves", encodeMoves(moves, alts)),
+		)
+	}
+	return moves, err
+}
+
+// Alternatives implements Policy (delegation; recording its own output
+// would be circular).
+func (rec *Recorder) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	return rec.P.Alternatives(ctx, vm, k)
+}
+
+// SpareTarget implements Policy: every call is recorded (unlike moves,
+// the baseline passthrough result is still a decision Replay must
+// reproduce without consulting the wrapped scheme).
+func (rec *Recorder) SpareTarget(ctx *core.Context, baseline int) int {
+	tick := rec.tick
+	rec.tick++
+	n := rec.P.SpareTarget(ctx, baseline)
+	ctx.Obs.EmitDecision(ctx.Now, "decision_spare",
+		obs.I("tick", int64(tick)),
+		obs.I("baseline", int64(baseline)),
+		obs.I("spares", int64(n)),
+	)
+	return n
+}
+
+// RecorderState is the checkpointed record-keying state.
+type RecorderState struct {
+	// Calls is the Consolidate invocation count at capture time.
+	Calls uint64 `json:"calls"`
+
+	// Ticks is the SpareTarget invocation count at capture time.
+	Ticks uint64 `json:"ticks"`
+}
+
+// State captures the counters for a checkpoint.
+func (rec *Recorder) State() RecorderState {
+	return RecorderState{Calls: rec.call, Ticks: rec.tick}
+}
+
+// RestoreState reloads checkpointed counters so records emitted after a
+// resume continue the original keying (a concatenated decision log
+// replays seamlessly).
+func (rec *Recorder) RestoreState(st RecorderState) {
+	rec.call, rec.tick = st.Calls, st.Ticks
+}
+
+// PlacerState is the checkpoint payload for policy-internal state that
+// the simulator snapshot carries opaquely: the Recorder's record keying
+// and the Adaptive threshold walk. Nil (and omitted from the snapshot
+// JSON) when the configured placer has neither, which keeps existing
+// checkpoint files byte-stable.
+type PlacerState struct {
+	Recorder *RecorderState `json:"recorder,omitempty"`
+	Adaptive *AdaptiveState `json:"adaptive,omitempty"`
+}
+
+// CaptureState walks p's wrapper chain and captures any policy-internal
+// state; returns nil when there is none.
+func CaptureState(p Placer) *PlacerState {
+	var st PlacerState
+	for p != nil {
+		switch v := p.(type) {
+		case *Recorder:
+			s := v.State()
+			st.Recorder = &s
+		case *Adaptive:
+			s := v.State()
+			st.Adaptive = &s
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			break
+		}
+		p = u.Unwrap()
+	}
+	if st.Recorder == nil && st.Adaptive == nil {
+		return nil
+	}
+	return &st
+}
+
+// RestoreState walks p's wrapper chain and reloads captured state.
+// Lenient by design: state with no matching policy in the chain is
+// ignored (the resume CLI may legitimately resume an instrumented run
+// without instrumentation).
+func RestoreState(p Placer, st *PlacerState) error {
+	if st == nil {
+		return nil
+	}
+	for p != nil {
+		switch v := p.(type) {
+		case *Recorder:
+			if st.Recorder != nil {
+				v.RestoreState(*st.Recorder)
+			}
+		case *Adaptive:
+			if st.Adaptive != nil {
+				if err := v.RestoreState(*st.Adaptive); err != nil {
+					return err
+				}
+			}
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		p = u.Unwrap()
+	}
+	return nil
+}
+
+// encodeAlts renders an alternative list as "pm=score" pairs joined by
+// commas, scores in strconv 'g'/-1 form (round-trippable, including
+// "+Inf" for rescue moves).
+func encodeAlts(alts []core.Placement) string {
+	var b strings.Builder
+	for i, a := range alts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(a.PM.ID), 10))
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(a.Probability, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// encodeMoves renders a consolidation pass as "vm:from:to:round:gain"
+// entries joined by "|", each optionally followed by "@" and its
+// alternative list (present for the dynamic family, absent for
+// threshold-style movers).
+func encodeMoves(moves []core.Move, alts [][]core.Placement) string {
+	var b strings.Builder
+	for i, mv := range moves {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.FormatInt(int64(mv.VM), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(mv.From), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(mv.To), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(mv.Round))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(mv.Gain, 'g', -1, 64))
+		if i < len(alts) && len(alts[i]) > 0 {
+			b.WriteByte('@')
+			b.WriteString(encodeAlts(alts[i]))
+		}
+	}
+	return b.String()
+}

@@ -90,6 +90,31 @@ func (t *Threshold) Place(ctx *core.Context, vm *cluster.VM) *cluster.PM {
 	return fallback
 }
 
+// Alternatives implements Policy: feasible hosts in Place's preference
+// order — watermark-respecting candidates first (post-placement
+// bottleneck utilization descending), then over-watermark fallbacks —
+// scored by that utilization.
+func (t *Threshold) Alternatives(ctx *core.Context, vm *cluster.VM, k int) []core.Placement {
+	var within, over []core.Placement
+	for _, pm := range ctx.DC.ActivePMs() {
+		if !pm.CanHost(vm.Demand) {
+			continue
+		}
+		u := t.postUtil(pm, vm.Demand)
+		if u <= t.Hi {
+			within = append(within, core.Placement{PM: pm, Probability: u})
+		} else {
+			over = append(over, core.Placement{PM: pm, Probability: u})
+		}
+	}
+	sortPlacements(within, true)
+	sortPlacements(over, true)
+	return truncate(append(within, over...), k)
+}
+
+// SpareTarget implements Policy (baseline passthrough).
+func (*Threshold) SpareTarget(_ *core.Context, baseline int) int { return baseline }
+
 // Consolidate implements Placer: first evacuate fully-drainable
 // underloaded hosts, then relieve overloaded hosts, within the MaxMoves
 // budget.

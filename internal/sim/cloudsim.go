@@ -259,7 +259,7 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &simulator{cfg: &cfg, dc: cfg.DC}
-	if d, ok := cfg.Placer.(*policy.Dynamic); ok && cfg.KernelWorkers != 0 {
+	if d, ok := policy.DynamicOf(cfg.Placer); ok && cfg.KernelWorkers != 0 {
 		d.Opts.Workers = cfg.KernelWorkers
 	}
 	s.eng = newScheduler(cfg.Cells, cfg.DC.Size(), cfg.Obs)
@@ -357,6 +357,12 @@ type simulator struct {
 	// snapshot auditor's round-trip clone) still re-serializes the same
 	// TraceSeq it was restored with, keeping save→load→save byte-exact.
 	traceSeq0 uint64
+
+	// decisionSeq0 is the decision-log logical clock carried in from a
+	// restored checkpoint, mirroring traceSeq0 for the decision stream:
+	// records emitted after a resume continue the original numbering, so
+	// concatenated decision logs replay seamlessly.
+	decisionSeq0 uint64
 }
 
 func (s *simulator) ctx() *core.Context {
@@ -377,7 +383,7 @@ func (s *simulator) setupObs() {
 		s.ctrl.Obs = o
 	}
 	s.phDispatch = o.Phase("event_dispatch")
-	s.waitHist = o.Reg.Histogram("sim.wait_seconds", []float64{1, 10, 60, 300, 1800})
+	s.waitHist = o.Reg.Histogram("sim.wait_seconds", waitBounds)
 	s.cArrivals = o.Counter("sim.arrivals")
 	s.cPlace = o.Counter("sim.placements")
 	s.cQueued = o.Counter("sim.queued")
@@ -565,7 +571,7 @@ func (s *simulator) setupAudit() {
 			return nil
 		}))
 	}
-	if d, ok := s.cfg.Placer.(*policy.Dynamic); ok {
+	if d, ok := policy.DynamicOf(s.cfg.Placer); ok {
 		s.aud.Register(audit.TrackerCheck(s.pctx, d.FactorSet()))
 		if d.Opts.CandidateK > 0 {
 			s.aud.Register(audit.SparseCheck(s.pctx, d.FactorSet(), d.Opts.CandidateK))
@@ -636,13 +642,20 @@ func (s *simulator) tryPlace(vm *cluster.VM) bool {
 	return true
 }
 
+// waitBounds buckets placement-wait histograms; shared by setupObs and
+// the cell-scoped observation path (bounds must match per name).
+var waitBounds = []float64{1, 10, 60, 300, 1800}
+
 func (s *simulator) recordWait(vm *cluster.VM, placedAt float64) {
 	w := placedAt - vm.SubmitTime
 	if w < 0 {
 		w = 0
 	}
 	s.waits = append(s.waits, w)
-	s.waitHist.Observe(w)
+	// Scoped like the counters (PR 8): in multi-cell runs each cell's
+	// wait distribution books into "sim.wait_seconds@cellK" alongside
+	// the shared base histogram, so per-cell QoS never shares a sink.
+	s.cfg.Obs.ObserveScoped("sim.wait_seconds", waitBounds, w)
 	if w > 1 { // anything beyond a second of queueing counts against QoS
 		s.queuedCount++
 	}
@@ -817,6 +830,18 @@ func (s *simulator) onDeparture(vm *cluster.VM) {
 	s.consolidate()
 }
 
+// policySpare routes the spare-pool control point through the placer
+// when it implements the full Policy surface: the baseline controller's
+// plan goes in, the scheme's target comes out (stock schemes pass it
+// through unchanged, so legacy Placer-only schemes and existing traces
+// are unaffected).
+func (s *simulator) policySpare(baseline int) int {
+	if p, ok := s.cfg.Placer.(policy.Policy); ok {
+		return p.SpareTarget(s.ctx(), baseline)
+	}
+	return baseline
+}
+
 func (s *simulator) onControlTick() {
 	now := s.eng.Now()
 	s.meter.Advance(now)
@@ -834,14 +859,14 @@ func (s *simulator) onControlTick() {
 	if s.ctrl != nil {
 		plan := s.ctrl.PlanSpares(now, s.dc)
 		s.res.SparePlans = append(s.res.SparePlans, plan)
-		s.spareTarget = plan.Spares
+		s.spareTarget = s.policySpare(plan.Spares)
 		if s.tracing {
 			s.emit("spare_plan", obs.I("spares", int64(plan.Spares)),
 				obs.I("n_arrival", int64(plan.NArrival)), obs.I("n_departure", int64(plan.NDeparture)),
 				obs.F("n_ave", plan.NAve), obs.F("expected_arrivals", plan.ExpectedArrivals))
 		}
 	} else if now > 0 {
-		s.spareTarget = 0
+		s.spareTarget = s.policySpare(0)
 	}
 	s.drainQueue()
 	s.powerManage()

@@ -110,6 +110,13 @@ type simState struct {
 	MeanUtil    []float64                `json:"mean_util,omitempty"`
 	TraceSeq    uint64                   `json:"trace_seq"`
 
+	// DecisionSeq mirrors TraceSeq for the decision log, and PlacerState
+	// carries policy-internal state (Recorder keying, the adaptive
+	// threshold walk). Both are omitted when zero/nil so checkpoints
+	// from uninstrumented runs keep their pre-policy-lab byte layout.
+	DecisionSeq uint64              `json:"decision_seq,omitempty"`
+	PlacerState *policy.PlacerState `json:"placer_state,omitempty"`
+
 	// Per-cell sections, present only when the run was sharded
 	// (Config.Cells > 1). The engine events themselves are stored
 	// cell-agnostically (merged, sorted by (At, Seq)) so a snapshot can
@@ -225,7 +232,7 @@ func (s *simulator) captureState() (*simState, error) {
 		rs := s.inj.RNGState()
 		st.FailRNG = &rs
 	}
-	if r, ok := s.cfg.Placer.(*policy.Random); ok {
+	if r, ok := policy.RandomOf(s.cfg.Placer); ok {
 		rs := r.RNGState()
 		st.PlacerRNG = &rs
 	}
@@ -234,6 +241,12 @@ func (s *simulator) captureState() (*simState, error) {
 	} else {
 		st.TraceSeq = s.traceSeq0
 	}
+	if s.cfg.Obs.DecisionTracing() {
+		st.DecisionSeq = s.cfg.Obs.Decisions.Events()
+	} else {
+		st.DecisionSeq = s.decisionSeq0
+	}
+	st.PlacerState = policy.CaptureState(s.cfg.Placer)
 	if sh, ok := s.eng.(*shardedEngine); ok {
 		st.Cells = sh.part.Cells
 		st.CellDispatched = sh.cellDispatched()
@@ -293,7 +306,7 @@ func (s *simulator) restore(st *simState) error {
 			return fmt.Errorf("sim: restore failure RNG: %w", err)
 		}
 	}
-	if rp, ok := s.cfg.Placer.(*policy.Random); ok {
+	if rp, ok := policy.RandomOf(s.cfg.Placer); ok {
 		if st.PlacerRNG == nil {
 			return fmt.Errorf("sim: random placer but snapshot carries no placer RNG state")
 		}
@@ -301,10 +314,19 @@ func (s *simulator) restore(st *simState) error {
 			return fmt.Errorf("sim: restore placer RNG: %w", err)
 		}
 	}
+	if err := policy.RestoreState(s.cfg.Placer, st.PlacerState); err != nil {
+		return fmt.Errorf("sim: restore placer state: %w", err)
+	}
 	s.setupObs()
 	s.traceSeq0 = st.TraceSeq
 	if s.cfg.Obs.Tracing() {
 		if err := s.cfg.Obs.Trace.ResumeSeq(st.TraceSeq); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	s.decisionSeq0 = st.DecisionSeq
+	if s.cfg.Obs.DecisionTracing() {
+		if err := s.cfg.Obs.Decisions.ResumeSeq(st.DecisionSeq); err != nil {
 			return fmt.Errorf("sim: %w", err)
 		}
 	}

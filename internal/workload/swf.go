@@ -26,15 +26,19 @@ import (
 const swfFields = 18
 
 // ParseSWF reads an SWF trace. Malformed lines produce an error naming the
-// line number; header comment lines are skipped. Memory fields are
-// converted from KB-per-processor to total GB. When the used-memory field
-// is missing (-1), the requested memory is substituted; when the requested
-// time is missing, the actual runtime is used as the estimate.
+// line and field: a wrong field count, a non-numeric field, a negative
+// value other than the -1 missing marker, or a duplicate job number each
+// reject the trace rather than silently normalizing it. Header comment
+// lines are skipped. Memory fields are converted from KB-per-processor to
+// total GB. When the used-memory field is missing (-1), the requested
+// memory is substituted; when the requested time is missing, the actual
+// runtime is used as the estimate.
 func ParseSWF(r io.Reader) ([]Job, error) {
 	var jobs []Job
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
+	seen := map[int]int{} // job ID -> first line it appeared on
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -42,7 +46,7 @@ func ParseSWF(r io.Reader) ([]Job, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) < swfFields {
+		if len(fields) != swfFields {
 			return nil, fmt.Errorf("workload: swf line %d has %d fields, want %d", lineNo, len(fields), swfFields)
 		}
 		get := func(i int) (float64, error) {
@@ -52,6 +56,15 @@ func ParseSWF(r io.Reader) ([]Job, error) {
 			}
 			return v, nil
 		}
+		// SWF encodes a missing value as exactly -1; any other negative is
+		// not a marker, it is a damaged trace, and clamping it to zero
+		// would silently change the workload being replayed.
+		check := func(i int, v float64, what string) error {
+			if v < 0 && v != -1 {
+				return fmt.Errorf("workload: swf line %d field %d: negative %s %g (only -1 marks a missing value)", lineNo, i, what, v)
+			}
+			return nil
+		}
 		var j Job
 		var err error
 		var f float64
@@ -60,13 +73,29 @@ func ParseSWF(r io.Reader) ([]Job, error) {
 			return nil, err
 		}
 		j.ID = int(f)
+		if f < 0 {
+			return nil, fmt.Errorf("workload: swf line %d field 1: negative job ID %g", lineNo, f)
+		}
+		if first, dup := seen[j.ID]; dup {
+			return nil, fmt.Errorf("workload: swf line %d: duplicate job ID %d (first at line %d)", lineNo, j.ID, first)
+		}
+		seen[j.ID] = lineNo
 		if j.Submit, err = get(2); err != nil {
+			return nil, err
+		}
+		if err = check(2, j.Submit, "submit time"); err != nil {
 			return nil, err
 		}
 		if j.RunTime, err = get(4); err != nil {
 			return nil, err
 		}
+		if err = check(4, j.RunTime, "run time"); err != nil {
+			return nil, err
+		}
 		if f, err = get(5); err != nil {
+			return nil, err
+		}
+		if err = check(5, f, "processor count"); err != nil {
 			return nil, err
 		}
 		j.Cores = int(f)
@@ -74,11 +103,20 @@ func ParseSWF(r io.Reader) ([]Job, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err = check(7, usedMemKB, "used memory"); err != nil {
+			return nil, err
+		}
 		if j.EstimatedRunTime, err = get(9); err != nil {
+			return nil, err
+		}
+		if err = check(9, j.EstimatedRunTime, "requested time"); err != nil {
 			return nil, err
 		}
 		reqMemKB, err := get(10)
 		if err != nil {
+			return nil, err
+		}
+		if err = check(10, reqMemKB, "requested memory"); err != nil {
 			return nil, err
 		}
 		if f, err = get(11); err != nil {

@@ -55,14 +55,56 @@ func TestParseSWF(t *testing.T) {
 }
 
 func TestParseSWFErrors(t *testing.T) {
-	cases := map[string]string{
-		"short line": "1 0 5\n",
-		"bad number": "x 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n",
+	good := "1 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n"
+	cases := map[string]struct {
+		in   string
+		want string // substring the positional error must contain
+	}{
+		"short line":  {"1 0 5\n", "line 1 has 3 fields"},
+		"long line":   {"1 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1 99\n", "line 1 has 19 fields"},
+		"bad number":  {"x 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n", "line 1 field 1"},
+		"negative id": {"-2 0 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n", "negative job ID"},
+		"negative submit": {"1 -7 5 3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 2: negative submit time -7"},
+		"negative runtime": {"1 0 5 -3600 4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 4: negative run time -3600"},
+		"negative processors": {"1 0 5 3600 -4 -1 524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 5: negative processor count -4"},
+		"negative used memory": {"1 0 5 3600 4 -1 -524288 4 7200 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 7: negative used memory"},
+		"negative requested time": {"1 0 5 3600 4 -1 524288 4 -7200 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 9: negative requested time"},
+		"negative requested memory": {"1 0 5 3600 4 -1 524288 4 7200 -9 1 10 20 1 1 1 -1 -1\n",
+			"line 1 field 10: negative requested memory"},
+		"duplicate job id": {good + "2 1 5 60 1 -1 -1 1 -1 -1 1 10 20 1 1 1 -1 -1\n" +
+			"1 2 5 60 1 -1 -1 1 -1 -1 1 10 20 1 1 1 -1 -1\n",
+			"line 3: duplicate job ID 1 (first at line 1)"},
 	}
-	for name, in := range cases {
-		if _, err := ParseSWF(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: parse accepted", name)
-		}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseSWF(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("parse accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSWFMissingMarkersStillNormalize pins that hardening the
+// parser kept the -1 convention intact: every consumed field may still
+// be exactly -1 (WriteSWF emits -1 for unmodeled fields, so the
+// round-trip depends on it).
+func TestParseSWFMissingMarkersStillNormalize(t *testing.T) {
+	jobs, err := ParseSWF(strings.NewReader("7 -1 -1 -1 -1 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+	if j.Submit != 0 || j.RunTime != 0 || j.Cores != 0 || j.EstimatedRunTime != 0 || j.MemoryGB != 0 {
+		t.Errorf("missing markers not normalized: %+v", j)
 	}
 }
 
